@@ -1,0 +1,12 @@
+"""Per-figure benchmark harness.
+
+Every table and figure in the paper's evaluation has a bench module here
+(``bench_figNN_*.py``) that regenerates its data on a synthetic scenario
+and prints the same rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scenario scale defaults to ``small``; set ``REPRO_SCALE=medium`` for more
+statistics (slower).  Rendered tables are also written to
+``benchmarks/results/<experiment>.txt``.
+"""

@@ -1,0 +1,13 @@
+"""Ablation: Step 4 best-match selection rule.
+
+Expected shape: BOTH ⊆ V4/V6 ⊆ EITHER in pair counts; the default
+(EITHER) maximizes coverage while keeping per-prefix maxima only.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_ablation_bestmatch(benchmark):
+    result = run_and_record(benchmark, "ablation_bestmatch")
+    assert result.key_values["pairs_both"] <= result.key_values["pairs_v4"]
+    assert result.key_values["pairs_v4"] <= result.key_values["pairs_either"]

@@ -1,0 +1,14 @@
+"""Ablation: SP-Tuner's UpdateBranches step (Algorithm 1, line 12).
+
+Expected shape: disabling branch tracking loses domains from the tuned
+sibling set — the exact failure mode the paper's branch tracking exists
+to prevent.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_ablation_branches(benchmark):
+    result = run_and_record(benchmark, "ablation_branches")
+    assert result.key_values["domains_lost_without_branches"] >= 0.0
+    assert result.key_values["pairs_with"] >= result.key_values["pairs_without"]

@@ -1,0 +1,17 @@
+"""Figure 1: domains and dual-stack domains in the DNS dataset over time.
+
+Expected shape: total domains grow across the window (toplist additions,
+notably the .fr ccTLD in 2022-08), DS share rises from ~25% toward ~32%.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig01_dataset_evolution(benchmark):
+    result = run_and_record(benchmark, "fig01", every=4)
+    assert result.key_values["total_domains_end"] > result.key_values[
+        "total_domains_start"
+    ]
+    assert result.key_values["ds_share_end_pct"] > result.key_values[
+        "ds_share_start_pct"
+    ]

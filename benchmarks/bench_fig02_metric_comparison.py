@@ -1,0 +1,17 @@
+"""Figure 2: Jaccard vs Dice vs overlap coefficient ECDFs.
+
+Expected shape: the overlap coefficient saturates (>90% of pairs at 1.0,
+the paper's reason for rejecting it); Jaccard and Dice track each other
+with Dice slightly more lenient.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig02_metric_comparison(benchmark):
+    result = run_and_record(benchmark, "fig02")
+    assert result.key_values["overlap_share_at_1"] > 0.85
+    assert (
+        result.key_values["overlap_share_at_1"]
+        > result.key_values["dice_share_at_1"]
+    )

@@ -1,0 +1,23 @@
+"""Figures 4/19: SP-Tuner threshold sensitivity heatmap.
+
+Expected shape: mean Jaccard rises monotonically toward more specific
+thresholds on both axes (paper: 0.647 at /16-/32 up to 0.878 at /28-/96)
+while the standard deviation falls.
+"""
+
+from benchmarks.common import run_and_record
+
+V4 = (16, 18, 20, 22, 24, 26, 28)
+V6 = (32, 40, 48, 56, 64, 80, 96)
+
+
+def test_fig04_sptuner_heatmap(benchmark):
+    result = run_and_record(
+        benchmark, "fig04", v4_thresholds=V4, v6_thresholds=V6
+    )
+    assert result.key_values["mean_at_tightest"] > result.key_values[
+        "mean_at_loosest"
+    ]
+    assert result.key_values["std_at_tightest"] < result.key_values[
+        "std_at_loosest"
+    ]

@@ -1,0 +1,17 @@
+"""Figure 5: Jaccard ECDF, default vs SP-Tuner at both threshold pairs.
+
+Expected shape: perfect-match share climbs from ~52% (default) through
+~67% (/24-/48) to ~82% (/28-/96).
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig05_sptuner_ecdf(benchmark):
+    result = run_and_record(benchmark, "fig05")
+    assert (
+        result.key_values["default_perfect_share"]
+        < result.key_values["routable_perfect_share"]
+        < result.key_values["deep_perfect_share"]
+    )
+    assert 0.70 < result.key_values["deep_perfect_share"] < 0.95

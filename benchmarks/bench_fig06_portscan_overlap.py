@@ -1,0 +1,14 @@
+"""Figure 6: DNS-based vs port-scan-based Jaccard heatmap.
+
+Expected shape: ~70% of sibling pairs responsive; the densest cell is
+the (0.9-1.0, 0.9-1.0) corner (paper: 36%), i.e. pairs similar in DNS
+are also similar in open ports.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig06_portscan_overlap(benchmark):
+    result = run_and_record(benchmark, "fig06")
+    assert result.key_values["responsive_share"] > 0.4
+    assert result.key_values["both_high_pct"] > 10.0

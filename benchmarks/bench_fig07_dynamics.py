@@ -1,0 +1,18 @@
+"""Figure 7: DS-domain visibility and prefix/address stability.
+
+Expected shape: a large consistent population (paper: ~40% visible in
+all 13 snapshots, ~20% once); >91% same prefix over a year; prefixes
+more stable than addresses (83% same address).
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig07_dynamics(benchmark):
+    result = run_and_record(benchmark, "fig07")
+    assert 0.15 < result.key_values["consistent_share"] < 0.75
+    assert result.key_values["same_prefix_year_pct"] > 70.0
+    assert (
+        result.key_values["same_prefix_year_pct"]
+        >= result.key_values["same_address_year_pct"]
+    )

@@ -1,0 +1,23 @@
+"""Figure 8 (deep-tuned) and Figures 33/34 (default, /24-/48): domains
+per prefix.
+
+Expected shape: single-domain pairs dominate (paper: 55% at /28-/96),
+2-5 next (21%), diagonal cells dense.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig08_domain_bins_tuned(benchmark):
+    result = run_and_record(benchmark, "fig08", case="deep")
+    assert result.key_values["single_domain_pct"] > 25.0
+
+
+def test_fig33_domain_bins_default(benchmark):
+    result = run_and_record(benchmark, "fig08", tag="default_fig33", case="default")
+    assert result.key_values["single_domain_pct"] > 15.0
+
+
+def test_fig34_domain_bins_routable(benchmark):
+    result = run_and_record(benchmark, "fig08", tag="routable_fig34", case="routable")
+    assert result.key_values["single_domain_pct"] > 20.0

@@ -1,0 +1,11 @@
+"""Figure 9: number of sibling prefixes over four years.
+
+Expected shape: roughly doubles from Year -4 to Day 0 (paper: 36k→76k).
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig09_sibling_counts(benchmark):
+    result = run_and_record(benchmark, "fig09")
+    assert result.key_values["growth_factor"] > 1.5

@@ -1,0 +1,18 @@
+"""Figure 10 (default) and Figures 26/27: Jaccard by change class.
+
+Expected shape: 'new' dominates (paper: 88%); unchanged pairs nearly all
+perfect; changed pairs' current Jaccard lower than their old one.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig10_change_classes(benchmark):
+    result = run_and_record(benchmark, "fig10")
+    assert result.key_values["new_share"] > 0.4
+    assert result.key_values["unchanged_perfect_share"] >= 0.9
+
+
+def test_fig27_change_classes_tuned(benchmark):
+    result = run_and_record(benchmark, "fig10", tag="tuned_fig27", tuned=True)
+    assert result.key_values["new_share"] > 0.4

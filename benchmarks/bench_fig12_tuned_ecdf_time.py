@@ -1,0 +1,22 @@
+"""Figure 12 (and 28): SP-Tuner Jaccard ECDF at ten points in time.
+
+Expected shape: the tuned perfect-match share is roughly stable around
+~80% (paper) at every snapshot — tuning works across time, not just on
+the latest data.
+"""
+
+from benchmarks.common import run_and_record
+from repro.core.sptuner import ROUTABLE_CONFIG
+
+
+def test_fig12_tuned_ecdf_over_time(benchmark):
+    result = run_and_record(benchmark, "fig12")
+    for key, value in result.key_values.items():
+        assert value > 0.6, f"{key} below the tuned band"
+
+
+def test_fig28_routable_ecdf_over_time(benchmark):
+    result = run_and_record(
+        benchmark, "fig12", tag="routable_fig28", config=ROUTABLE_CONFIG
+    )
+    assert result.key_values["perfect_Day_0"] > 0.45

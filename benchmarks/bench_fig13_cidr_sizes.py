@@ -1,0 +1,26 @@
+"""Figure 13 (default), Figure 35 (/24-/48), Figure 36 (/28-/96):
+CIDR-size distributions of sibling prefixes.
+
+Expected shape: /24 x /48 modal in the default and routable cases
+(paper: 23.41% and 92.73%); mass concentrated exactly on /28-/96 after
+deep tuning (paper: 86.95%).
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig13_cidr_sizes_default(benchmark):
+    result = run_and_record(benchmark, "fig13", case="default")
+    assert result.key_values["modal_is_24_48"] == 1.0
+
+
+def test_fig35_cidr_sizes_routable(benchmark):
+    result = run_and_record(benchmark, "fig13", tag="routable_fig35", case="routable")
+    assert result.key_values["modal_is_24_48"] == 1.0
+    assert result.key_values["modal_share_pct"] > 30.0
+
+
+def test_fig36_cidr_sizes_tuned(benchmark):
+    result = run_and_record(benchmark, "fig13", tag="tuned_fig36", case="deep")
+    assert result.key_values["modal_is_24_48"] == 1.0  # modal == /28-/96 here
+    assert result.key_values["modal_share_pct"] > 30.0

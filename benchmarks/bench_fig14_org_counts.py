@@ -1,0 +1,23 @@
+"""Figure 14 (and 29/30): same- vs different-organization pairs.
+
+Expected shape: more than half of pairs originate from the same
+organization (paper: 41k of 76k); unique IPv4 prefixes outnumber IPv6.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig14_org_counts(benchmark):
+    result = run_and_record(benchmark, "fig14", every=8)
+    assert result.key_values["same_org_share_end"] > 0.5
+    assert (
+        result.key_values["unique_v4_prefixes"]
+        > result.key_values["unique_v6_prefixes"]
+    )
+
+
+def test_fig30_org_counts_routable(benchmark):
+    result = run_and_record(
+        benchmark, "fig14", tag="routable_fig30", every=12, case="routable"
+    )
+    assert result.key_values["same_org_share_end"] > 0.5

@@ -1,0 +1,20 @@
+"""Figure 15 (and 31/32): median Jaccard by organization split.
+
+Expected shape: different-org median pinned at 1.0 by the monitoring
+(site24x7-like) cross-product pairs; same-org median high.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig15_org_jaccard(benchmark):
+    result = run_and_record(benchmark, "fig15", every=8)
+    assert result.key_values["diff_org_median_end"] == 1.0
+    assert result.key_values["same_org_median_end"] > 0.6
+
+
+def test_fig32_org_jaccard_routable(benchmark):
+    result = run_and_record(
+        benchmark, "fig15", tag="routable_fig32", every=12, case="routable"
+    )
+    assert result.key_values["diff_org_median_end"] == 1.0

@@ -1,0 +1,27 @@
+"""Figures 16/20/21: business types of origin ASes.
+
+Expected shape: IT x IT is the dominant cell in all three variants, and
+most pairs involve IT on at least one side.
+"""
+
+from benchmarks.common import run_and_record
+from repro.analysis.business import BusinessVariant
+
+
+def test_fig16_pairs_excluding_same_asn(benchmark):
+    result = run_and_record(benchmark, "fig16")
+    assert result.key_values["dominant_is_it_it"] == 1.0
+
+
+def test_fig20_unique_as_pairs(benchmark):
+    result = run_and_record(
+        benchmark, "fig16", tag="fig20", variant=BusinessVariant.UNIQUE_AS_PAIRS
+    )
+    assert result.key_values["it_involvement_share"] > 0.3
+
+
+def test_fig21_unfiltered(benchmark):
+    result = run_and_record(
+        benchmark, "fig16", tag="fig21", variant=BusinessVariant.UNFILTERED
+    )
+    assert result.key_values["dominant_is_it_it"] == 1.0

@@ -1,0 +1,33 @@
+"""Figures 17/25 (deep), 23 (default), 24 (/24-/48): HG/CDN similarity.
+
+Expected shape: aligned hypergiants (Google/Facebook style) concentrate
+in the 0.9-1.0 column; agility CDNs (Cloudflare/Akamai) carry large
+low-similarity mass; non-CDN-HG mostly high.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig17_hgcdn(benchmark):
+    result = run_and_record(benchmark, "fig17", min_pairs=5)
+    assert result.key_values["hgcdn_orgs_with_pairs"] >= 5
+    assert result.key_values["non_cdn_hg_high_share"] > 0.5
+    if "cloudflare_high_share" in result.key_values:
+        assert (
+            result.key_values["cloudflare_high_share"]
+            < result.key_values["non_cdn_hg_high_share"]
+        )
+
+
+def test_fig23_hgcdn_default(benchmark):
+    result = run_and_record(
+        benchmark, "fig17", tag="default_fig23", min_pairs=5, case="default"
+    )
+    assert result.key_values["hgcdn_orgs_with_pairs"] >= 5
+
+
+def test_fig24_hgcdn_routable(benchmark):
+    result = run_and_record(
+        benchmark, "fig17", tag="routable_fig24", min_pairs=5, case="routable"
+    )
+    assert result.key_values["hgcdn_orgs_with_pairs"] >= 5

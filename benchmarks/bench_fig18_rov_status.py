@@ -1,0 +1,17 @@
+"""Figure 18: sibling-pair ROV status in RPKI over time.
+
+Expected shape: the share of pairs with at least one VALID side grows
+(paper: ~50% in 2020 to ~65% in 2024) while both-not-found shrinks
+(~40% to ~20%).
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig18_rov_status(benchmark):
+    result = run_and_record(benchmark, "fig18", every=8)
+    assert (
+        result.key_values["at_least_one_valid_end_pct"]
+        > result.key_values["at_least_one_valid_start_pct"]
+    )
+    assert result.key_values["both_notfound_end_pct"] < 50.0

@@ -1,0 +1,19 @@
+"""Figure 19: the extended SP-Tuner threshold grid (appendix A.2).
+
+Expected shape: same monotone structure as Figure 4 over a wider
+threshold range, with the mean saturating near the deepest thresholds.
+"""
+
+from benchmarks.common import run_and_record
+
+V4 = tuple(range(16, 32, 2))
+V6 = tuple(range(32, 128, 12))
+
+
+def test_fig19_full_grid(benchmark):
+    result = run_and_record(
+        benchmark, "fig04", tag="full_fig19", v4_thresholds=V4, v6_thresholds=V6
+    )
+    assert result.key_values["mean_at_tightest"] > result.key_values[
+        "mean_at_loosest"
+    ]

@@ -1,0 +1,17 @@
+"""Figure 22: SP-Tuner-LS (less specific) — the negative result.
+
+Expected shape: widening prefixes does not improve Jaccard, with or
+without the level threshold.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_fig22_sptuner_ls(benchmark):
+    result = run_and_record(benchmark, "fig22")
+    assert abs(
+        result.key_values["bounded_mean"] - result.key_values["default_mean"]
+    ) < 0.02
+    assert result.key_values["unbounded_mean"] <= (
+        result.key_values["default_mean"] + 0.02
+    )

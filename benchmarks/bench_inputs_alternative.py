@@ -1,0 +1,15 @@
+"""Section 6: the methodology on alternative inputs (MX, rDNS).
+
+Expected shape: both signals detect siblings and largely confirm the
+domain-based pairs, supporting the paper's generalization claim.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_inputs_alternative(benchmark):
+    result = run_and_record(benchmark, "inputs")
+    assert result.key_values["mx_pairs"] > 0
+    assert result.key_values["rdns_pairs"] > 0
+    assert result.key_values["mx_compatibility"] > 0.4
+    assert result.key_values["rdns_compatibility"] > 0.5

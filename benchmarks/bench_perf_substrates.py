@@ -1,0 +1,106 @@
+"""Performance benches for the hot substrate paths.
+
+Unlike the per-figure benches (single-shot experiment reproductions),
+these use pytest-benchmark's statistical timing, guarding against
+regressions in the patricia trie and the detection pipeline — the
+structures that bound what scenario scales are feasible.
+"""
+
+import datetime
+
+from repro.bgp.rib import Rib
+from repro.core.detection import detect_siblings
+from repro.core.sptuner import DEFAULT_CONFIG, SpTunerMS
+from repro.dates import REFERENCE_DATE
+from repro.nettypes.addr import IPV4
+from repro.nettypes.prefix import Prefix
+from repro.nettypes.trie import PatriciaTrie
+
+from benchmarks.common import get_universe
+
+
+def _prefixes(count: int) -> list[Prefix]:
+    return [
+        Prefix.from_address(IPV4, (5 << 24) | (i << 8), 24) for i in range(count)
+    ]
+
+
+def test_perf_trie_insert(benchmark):
+    prefixes = _prefixes(2000)
+
+    def insert_all():
+        trie = PatriciaTrie(IPV4)
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        return trie
+
+    trie = benchmark(insert_all)
+    assert len(trie) == 2000
+
+
+def test_perf_trie_lpm(benchmark):
+    trie = PatriciaTrie(IPV4)
+    for index, prefix in enumerate(_prefixes(2000)):
+        trie.insert(prefix, index)
+    queries = [(5 << 24) | (i << 8) | 77 for i in range(2000)]
+
+    def lookup_all():
+        hits = 0
+        for value in queries:
+            if trie.lookup_address(value) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(lookup_all) == 2000
+
+
+def test_perf_rib_announce_withdraw(benchmark):
+    prefixes = _prefixes(1000)
+
+    def churn():
+        rib = Rib()
+        for prefix in prefixes:
+            rib.announce(prefix, 64500)
+        for prefix in prefixes[::2]:
+            rib.withdraw(prefix, 64500)
+        return rib
+
+    rib = benchmark(churn)
+    assert rib.prefix_count(IPV4) == 500
+
+
+def test_perf_detection_pipeline(benchmark):
+    universe = get_universe()
+    snapshot = universe.snapshot_at(REFERENCE_DATE)
+    annotator = universe.annotator_at(REFERENCE_DATE)
+
+    siblings = benchmark(detect_siblings, snapshot, annotator)
+    assert len(siblings) > 0
+
+
+def test_perf_sptuner(benchmark):
+    from repro.core.detection import detect_with_index
+
+    universe = get_universe()
+    siblings, index = detect_with_index(
+        universe.snapshot_at(REFERENCE_DATE),
+        universe.annotator_at(REFERENCE_DATE),
+    )
+
+    def tune():
+        return SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+
+    tuned = benchmark(tune)
+    assert tuned.perfect_match_share >= siblings.perfect_match_share
+
+
+def test_perf_zone_build(benchmark):
+    universe = get_universe()
+    day = REFERENCE_DATE - datetime.timedelta(days=3)
+
+    def build():
+        universe._zone_cache._data.clear()
+        return universe.zone_at(day)
+
+    zone = benchmark(build)
+    assert len(zone) > 0

@@ -1,0 +1,13 @@
+"""Ground-truth detection quality (synthetic-only capability).
+
+Expected shape: near-total recall of DNS-visible deployments and no
+unexplained (spurious) sibling pairs.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_detection_quality(benchmark):
+    result = run_and_record(benchmark, "quality")
+    assert result.key_values["recall"] > 0.8
+    assert result.key_values["precision_proxy"] > 0.95

@@ -1,0 +1,13 @@
+"""Section 3.5: vantage-point ground truth evaluation.
+
+Expected shape: coverage split near the paper's 42.5/32.1/25.3 and a
+high best-match share among fully covered points (paper: 89.36%).
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_sec35_groundtruth(benchmark):
+    result = run_and_record(benchmark, "sec35")
+    assert 0.25 < result.key_values["fully_covered_share"] < 0.65
+    assert result.key_values["best_match_share"] > 0.6

@@ -1,0 +1,13 @@
+"""Section 4 headline statistics: pair and prefix counts, org split.
+
+Expected shape: more unique IPv4 than IPv6 prefixes (paper: 46.3k vs
+39.5k), more than half of pairs same-organization.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_sec42_headline(benchmark):
+    result = run_and_record(benchmark, "sec42")
+    assert result.key_values["v4_more_than_v6"] == 1.0
+    assert result.key_values["same_org_share"] > 0.5

@@ -1,0 +1,18 @@
+"""Future work (Section 6): sibling prefix set pairs.
+
+Expected shape: grouping pairs into prefix-set components never reduces
+similarity and repairs fragmented deployments the single-pair view
+scores poorly.
+"""
+
+from benchmarks.common import run_and_record
+
+
+def test_setpairs(benchmark):
+    result = run_and_record(benchmark, "setpairs")
+    assert result.key_values["set_mean"] >= result.key_values["pair_mean"]
+    assert (
+        result.key_values["set_perfect_share"]
+        >= result.key_values["pair_perfect_share"]
+    )
+    assert result.key_values["fragmented_count"] > 0

@@ -1,0 +1,39 @@
+"""Sibling-pair stability (the abstract's 'relatively stable over time').
+
+Expected shape: pairs from recent snapshots overwhelmingly survive into
+the reference set; survival decays smoothly with lookback distance.
+"""
+
+from repro.analysis.pipeline import paper_offsets
+from repro.analysis.stability import pair_survival, survival_timeseries
+from repro.dates import REFERENCE_DATE
+from repro.reporting.experiments import ExperimentResult
+from repro.reporting.tables import format_timeseries
+
+from benchmarks.common import get_universe, record
+
+
+def test_pair_survival(benchmark):
+    universe = get_universe()
+    offsets = dict(paper_offsets(REFERENCE_DATE))
+    dates = [
+        offsets[label]
+        for label in ("Year -4", "Year -2", "Year -1", "Month -6", "Month -1", "Week -1")
+    ]
+
+    points = benchmark.pedantic(
+        pair_survival, args=(universe, dates, REFERENCE_DATE), rounds=1, iterations=1
+    )
+    series = survival_timeseries(points)
+    result = ExperimentResult(
+        "stability",
+        "Sibling pair survival into the reference snapshot",
+        format_timeseries(series),
+        {
+            "survival_week_minus_1": points[-1].survival_share,
+            "survival_year_minus_4": points[0].survival_share,
+        },
+    )
+    record(result)
+    assert points[-1].survival_share > 0.85
+    assert points[-1].survival_share >= points[0].survival_share - 0.05

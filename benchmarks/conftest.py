@@ -1,0 +1,12 @@
+"""Bench-wide fixtures: warm the shared universe once per session."""
+
+import pytest
+
+from benchmarks.common import get_universe
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_universe():
+    """Build the scenario before timing starts so universe construction
+    doesn't pollute the first bench's measurement."""
+    return get_universe()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Analyze sibling prefixes of hypergiants and CDNs (Section 4.7).
+
+Reproduces the Figure 17 view: for each hypergiant/CDN organization, the
+distribution of its sibling pairs' Jaccard values — showing the contrast
+between aligned deployments (Google/Facebook-style, mostly perfect) and
+addressing-agility networks (Cloudflare/Akamai-style, mostly dissimilar).
+
+Run:  python examples/cdn_analysis.py
+"""
+
+import sys
+
+from repro.analysis.hgcdn import hgcdn_distribution, hgcdn_heatmap
+from repro.analysis.pipeline import tuned_at
+from repro.dates import REFERENCE_DATE
+from repro.orgs.hypergiants import DeploymentStyle
+from repro.reporting.tables import format_heatmap
+from repro.synth import build_universe
+
+
+def main() -> None:
+    scenario = sys.argv[1] if len(sys.argv) > 1 else "small"
+    universe = build_universe(scenario)
+    print("Detecting and tuning sibling prefixes ...")
+    tuned, _ = tuned_at(universe, REFERENCE_DATE)
+
+    distribution = hgcdn_distribution(universe, tuned, REFERENCE_DATE)
+    heatmap = hgcdn_heatmap(distribution, min_pairs=5)
+    print()
+    print(format_heatmap(heatmap))
+
+    print("\nPer-style summary (share of pairs with Jaccard >= 0.9):")
+    by_style: dict[str, list[float]] = {}
+    for org_name in distribution.rows:
+        entry = universe.registry.get(org_name)
+        if entry is None:
+            continue
+        share = distribution.high_similarity_share(org_name)
+        by_style.setdefault(entry.style.value, []).append(share)
+    for style in DeploymentStyle:
+        shares = by_style.get(style.value)
+        if shares:
+            mean = sum(shares) / len(shares)
+            print(f"  {style.value:<14} {mean:.1%} (n={len(shares)} orgs)")
+    print(
+        "\nReading: ALIGNED organizations concentrate in the 0.9-1.0 "
+        "column; AGILITY networks (Cloudflare/Akamai style) spread over "
+        "the low-similarity columns because domain-to-address bindings "
+        "are decoupled per family."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A miniature longitudinal sibling-prefix study (Section 4.3).
+
+Walks the 4-year window, tracks pair counts and Jaccard stability, and
+classifies pairs into new / unchanged / changed — the Figure 9 and
+Figure 10 story in one script.
+
+Run:  python examples/longitudinal_study.py
+"""
+
+from repro.analysis.pipeline import detect_at, paper_offsets
+from repro.core.longitudinal import classify_changes
+from repro.dates import REFERENCE_DATE
+from repro.synth import build_universe
+
+
+def main() -> None:
+    universe = build_universe("tiny")
+    offsets = paper_offsets(REFERENCE_DATE)
+
+    print("Sibling pair counts over time:")
+    sets = {}
+    for label, date in offsets:
+        siblings, _ = detect_at(universe, date)
+        sets[label] = siblings
+        print(
+            f"  {label:<9} {date}  pairs={len(siblings):5d}  "
+            f"perfect={siblings.perfect_match_share:5.1%}"
+        )
+    growth = len(sets["Day 0"]) / max(1, len(sets["Year -4"]))
+    print(f"\nGrowth over four years: {growth:.2f}x (paper: ~2.1x)")
+
+    report = classify_changes(sets["Year -4"], sets["Day 0"])
+    total = report.total_current
+    print("\nChange classes vs four years ago:")
+    print(f"  new:       {len(report.new):5d} ({len(report.new) / total:.1%})")
+    print(
+        f"  unchanged: {len(report.unchanged):5d} "
+        f"({len(report.unchanged) / total:.1%})"
+    )
+    print(
+        f"  changed:   {len(report.changed):5d} "
+        f"({len(report.changed) / total:.1%})"
+    )
+    print(f"  gone:      {len(report.gone):5d} (not part of the current set)")
+
+    if report.changed:
+        old_mean = sum(report.changed_old_similarities()) / len(report.changed)
+        new_mean = sum(report.changed_current_similarities()) / len(report.changed)
+        print(
+            f"\nChanged pairs drifted from mean J={old_mean:.2f} (then) "
+            f"to {new_mean:.2f} (now) — the paper observes the same "
+            f"downward drift for changed pairs."
+        )
+
+
+if __name__ == "__main__":
+    main()

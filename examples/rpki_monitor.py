@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Monitor RPKI consistency across sibling prefix pairs (Section 4.8).
+
+The paper argues that sibling pairs with asymmetric ROV state deserve
+operator attention: when only one family is covered by a ROA, traffic to
+the other family is unprotected against origin hijacks; when states
+conflict (valid + invalid), one family may be unreachable under strict
+ROV filtering.
+
+This example classifies every detected sibling pair against the RPKI
+repository and prints the actionable buckets.
+
+Run:  python examples/rpki_monitor.py
+"""
+
+from repro.analysis.pipeline import detect_at
+from repro.analysis.rov import pair_rov_shares
+from repro.dates import REFERENCE_DATE
+from repro.rpki.builder import repository_from_universe
+from repro.rpki.pair_status import PairRovStatus, classify_pair
+from repro.synth import build_universe
+
+
+def main() -> None:
+    universe = build_universe("tiny")
+    print("Building RPKI repository (49 monthly snapshots) ...")
+    repository = repository_from_universe(universe)
+
+    siblings, _ = detect_at(universe, REFERENCE_DATE)
+    shares = pair_rov_shares(universe, siblings, repository, REFERENCE_DATE)
+
+    print(f"\nROV status of {len(siblings)} sibling pairs on {REFERENCE_DATE}:")
+    for status, share in shares.items():
+        print(f"  {status.value:<22} {share:5.1f}%")
+    at_least_one_valid = sum(
+        share for status, share in shares.items() if status.has_valid
+    )
+    print(f"  at least one side valid: {at_least_one_valid:.1f}%")
+
+    # Actionable findings: pairs where exactly one side needs a ROA.
+    rib = universe.rib_at(REFERENCE_DATE)
+    needs_roa = []
+    conflicting = []
+    for pair in siblings:
+        route4 = rib.route_for_prefix(pair.v4_prefix)
+        route6 = rib.route_for_prefix(pair.v6_prefix)
+        if route4 is None or route6 is None:
+            continue
+        status4 = repository.validate(route4.prefix, route4.origin, REFERENCE_DATE)
+        status6 = repository.validate(route6.prefix, route6.origin, REFERENCE_DATE)
+        joint = classify_pair(status4, status6)
+        if joint is PairRovStatus.VALID_NOTFOUND:
+            needs_roa.append((pair, status4, status6))
+        elif joint is PairRovStatus.VALID_INVALID:
+            conflicting.append((pair, status4, status6))
+
+    print(f"\nPairs where one family still needs a ROA: {len(needs_roa)}")
+    for pair, status4, status6 in needs_roa[:6]:
+        missing = pair.v6_prefix if status6.value == "notfound" else pair.v4_prefix
+        print(f"  create ROA for {missing}  (sibling of a VALID prefix)")
+
+    print(f"\nPairs with conflicting ROV state (valid + invalid): {len(conflicting)}")
+    for pair, status4, status6 in conflicting[:6]:
+        broken = pair.v4_prefix if status4.value == "invalid" else pair.v6_prefix
+        print(f"  fix ROA for {broken}  (strict ROV would drop this family)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Choose SP-Tuner thresholds for your use case (Sections 3.3-3.4).
+
+The paper leaves the CIDR-size choice to the user: default BGP-announced
+sizes, /24-/48 for most-specific routable prefixes, or /28-/96 for the
+best similarity.  This example sweeps a threshold grid (the Figure 4
+heatmap) and prints the trade-off so an operator can pick.
+
+Run:  python examples/threshold_tuning.py
+"""
+
+from repro.analysis.pipeline import detect_at
+from repro.core.sensitivity import cell_at, sweep_thresholds
+from repro.core.sptuner import SpTunerMS, TunerConfig
+from repro.dates import REFERENCE_DATE
+from repro.synth import build_universe
+
+V4_GRID = (16, 20, 24, 28)
+V6_GRID = (32, 48, 64, 96)
+
+
+def main() -> None:
+    universe = build_universe("tiny")
+    siblings, index = detect_at(universe, REFERENCE_DATE)
+    print(
+        f"{len(siblings)} sibling pairs at BGP-announced sizes; "
+        f"mean Jaccard {siblings.mean_similarity:.3f}"
+    )
+
+    print("\nThreshold sweep (mean Jaccard / std per cell):")
+    cells = sweep_thresholds(siblings, index, V4_GRID, V6_GRID)
+    header = "v6\\v4 " + "".join(f"{f'/{v4}':>14}" for v4 in V4_GRID)
+    print(header)
+    for v6 in V6_GRID:
+        row = f"/{v6:<5}"
+        for v4 in V4_GRID:
+            cell = cell_at(cells, v4, v6)
+            row += f"{cell.mean:>8.3f}({cell.std:.2f})"
+        print(row)
+
+    print("\nRecommendations:")
+    for label, config in [
+        ("routable filtering (/24, /48)", TunerConfig(24, 48)),
+        ("precision policy (/28, /96)", TunerConfig(28, 96)),
+    ]:
+        tuned = SpTunerMS(index, config).tune_all(siblings)
+        print(
+            f"  {label:<32} pairs={len(tuned):5d} "
+            f"perfect={tuned.perfect_match_share:6.1%} "
+            f"mean J={tuned.mean_similarity:.3f}"
+        )
+    print(
+        "\nReading: deeper thresholds always help similarity (monotone in "
+        "both axes) but produce prefixes that are not globally routable — "
+        "use /24-/48 when the output must map onto BGP filters, /28-/96 "
+        "for host-level policy like firewalls or geolocation transfer."
+    )
+
+
+if __name__ == "__main__":
+    main()

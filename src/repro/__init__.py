@@ -1,0 +1,35 @@
+"""Reproduction of "Sibling Prefixes: Identifying Similarities in IPv4
+and IPv6 Prefixes" (Osali, Sediqi, Gasser - IMC 2025).
+
+Subpackage map (see README.md for the full architecture):
+
+* :mod:`repro.nettypes` - addresses, prefixes, patricia tries
+* :mod:`repro.dns` - zones, resolver, toplists, measurement snapshots
+* :mod:`repro.bgp` - RIB, archives, prefix annotation
+* :mod:`repro.orgs` - as2org, ASdb, hypergiant/CDN registries
+* :mod:`repro.rpki` - ROAs, route-origin validation, repositories
+* :mod:`repro.scan` - port-scan simulator and overlap analysis
+* :mod:`repro.atlas` - vantage points and ground-truth coverage
+* :mod:`repro.synth` - the seeded synthetic Internet universe
+* :mod:`repro.core` - detection pipeline, SP-Tuner, set pairs, quality
+* :mod:`repro.analysis` - the per-figure Section 4 analyses
+* :mod:`repro.reporting` - containers, rendering, experiment registry
+* :mod:`repro.publish` - the exportable sibling-prefix list
+* :mod:`repro.cli` - ``python -m repro`` command line
+
+Quickstart::
+
+    from repro.core.detection import detect_with_index
+    from repro.dates import REFERENCE_DATE
+    from repro.synth import build_universe
+
+    universe = build_universe("small")
+    siblings, index = detect_with_index(
+        universe.snapshot_at(REFERENCE_DATE),
+        universe.annotator_at(REFERENCE_DATE),
+    )
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

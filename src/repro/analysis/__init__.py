@@ -1,0 +1,11 @@
+"""Section 4 analyses — one module per paper figure family.
+
+Each module exposes pure functions from pipeline outputs (sibling sets,
+indexes, the universe) to :mod:`repro.reporting` containers; the
+benchmarks under ``benchmarks/`` wire them to concrete scenarios and
+print the paper-equivalent tables.
+"""
+
+from repro.analysis.pipeline import detect_at, paper_offsets, tuned_at
+
+__all__ = ["detect_at", "paper_offsets", "tuned_at"]

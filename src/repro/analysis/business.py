@@ -1,0 +1,96 @@
+"""Figures 16/20/21: business types of sibling-prefix origin ASes.
+
+Three published variants:
+
+* Figure 16 — count sibling *pairs*, only origin ASes mapping to a single
+  ASdb category, excluding pairs whose two prefixes share an origin ASN;
+* Figure 20 — count unique origin-AS *pairs* instead of sibling pairs;
+* Figure 21 — unfiltered (same-ASN pairs included → diagonal appears).
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from collections import Counter
+
+from repro.analysis.organizations import pair_origins
+from repro.core.siblings import SiblingSet
+from repro.orgs.asdb import BUSINESS_CATEGORIES, BusinessCategory
+from repro.reporting.containers import Heatmap
+from repro.synth.universe import Universe
+
+
+class BusinessVariant(enum.Enum):
+    PAIRS_EXCLUDING_SAME_ASN = "fig16"
+    UNIQUE_AS_PAIRS = "fig20"
+    UNFILTERED = "fig21"
+
+
+def business_type_heatmap(
+    universe: Universe,
+    siblings: SiblingSet,
+    date: datetime.date,
+    variant: BusinessVariant = BusinessVariant.PAIRS_EXCLUDING_SAME_ASN,
+) -> Heatmap:
+    """Rows: IPv6 origin business type; columns: IPv4 — cell = count."""
+    counts: Counter[tuple[BusinessCategory, BusinessCategory]] = Counter()
+    seen_as_pairs: set[tuple[int, int]] = set()
+    asdb = universe.asdb
+    for pair in siblings:
+        origins = pair_origins(universe, pair, date)
+        if origins.v4_asn is None or origins.v6_asn is None:
+            continue
+        if (
+            variant is not BusinessVariant.UNFILTERED
+            and origins.v4_asn == origins.v6_asn
+        ):
+            continue
+        v4_category = asdb.single_category_of(origins.v4_asn)
+        v6_category = asdb.single_category_of(origins.v6_asn)
+        if v4_category is None or v6_category is None:
+            continue  # the paper's single-type filter (~80% pass)
+        if variant is BusinessVariant.UNIQUE_AS_PAIRS:
+            key = (origins.v4_asn, origins.v6_asn)
+            if key in seen_as_pairs:
+                continue
+            seen_as_pairs.add(key)
+        counts[(v6_category, v4_category)] += 1
+
+    labels = [category.value for category in BUSINESS_CATEGORIES]
+    cells = [
+        [
+            float(counts.get((row_category, column_category), 0))
+            for column_category in BUSINESS_CATEGORIES
+        ]
+        for row_category in BUSINESS_CATEGORIES
+    ]
+    return Heatmap(
+        title=f"Business types of origin ASes ({variant.value})",
+        row_labels=labels,
+        column_labels=labels,
+        cells=cells,
+    )
+
+
+def dominant_category(heatmap: Heatmap) -> tuple[str, str, float]:
+    """The densest cell — the paper's 'IT dominates' observation."""
+    best = ("", "", -1.0)
+    for row_index, row_label in enumerate(heatmap.row_labels):
+        for column_index, column_label in enumerate(heatmap.column_labels):
+            value = heatmap.cells[row_index][column_index]
+            if value > best[2]:
+                best = (row_label, column_label, value)
+    return best
+
+
+def it_involvement_share(heatmap: Heatmap) -> float:
+    """Share of counted pairs with IT on at least one side."""
+    total = heatmap.total()
+    if total == 0:
+        return 0.0
+    it = BusinessCategory.IT.value
+    it_row = sum(heatmap.row(it))
+    it_column = sum(heatmap.column(it))
+    both = heatmap.cell(it, it)
+    return (it_row + it_column - both) / total

@@ -1,0 +1,109 @@
+"""Figures 13/35/36: CIDR-size distribution of sibling prefixes."""
+
+from __future__ import annotations
+
+from repro.core.siblings import SiblingSet
+from repro.reporting.containers import Heatmap
+
+#: The paper's Figure 13 length groups (default / BGP-announced case).
+V4_GROUPS_DEFAULT: tuple[tuple[int, int, str], ...] = (
+    (0, 11, "0-11"),
+    (12, 15, "12-15"),
+    (16, 16, "16"),
+    (17, 19, "17-19"),
+    (20, 22, "20-22"),
+    (23, 23, "23"),
+    (24, 24, "24"),
+    (25, 32, "25-32"),
+)
+V6_GROUPS_DEFAULT: tuple[tuple[int, int, str], ...] = (
+    (0, 16, "0-16"),
+    (17, 31, "17-31"),
+    (32, 32, "32"),
+    (33, 47, "33-47"),
+    (48, 48, "48"),
+    (49, 56, "49-56"),
+    (57, 64, "57-64"),
+    (65, 128, "65-128"),
+)
+
+#: The Figure 36 groups (SP-Tuner /28-/96 output).
+V4_GROUPS_TUNED: tuple[tuple[int, int, str], ...] = (
+    (0, 16, "0-16"),
+    (17, 20, "17-20"),
+    (21, 23, "21-23"),
+    (24, 24, "24"),
+    (25, 27, "25-27"),
+    (28, 28, "28"),
+    (29, 32, "29-32"),
+)
+V6_GROUPS_TUNED: tuple[tuple[int, int, str], ...] = (
+    (0, 32, "0-32"),
+    (33, 47, "33-47"),
+    (48, 48, "48"),
+    (49, 64, "49-64"),
+    (65, 95, "65-95"),
+    (96, 96, "96"),
+    (97, 128, "97-128"),
+)
+
+
+def _group_index(length: int, groups: tuple[tuple[int, int, str], ...]) -> int:
+    for index, (low, high, _) in enumerate(groups):
+        if low <= length <= high:
+            return index
+    raise ValueError(f"length /{length} outside grouping")
+
+
+def cidr_size_heatmap(
+    siblings: SiblingSet,
+    v4_groups: tuple[tuple[int, int, str], ...] = V4_GROUPS_DEFAULT,
+    v6_groups: tuple[tuple[int, int, str], ...] = V6_GROUPS_DEFAULT,
+    title: str = "Figure 13: CIDR sizes of sibling prefixes (%)",
+) -> Heatmap:
+    """Cell[v6 group][v4 group] = % of sibling pairs.  Rows are printed
+    most-specific group last, mirroring the paper's layout."""
+    counts = [[0 for _ in v4_groups] for _ in v6_groups]
+    total = 0
+    for pair in siblings:
+        row = _group_index(pair.v6_prefix.length, v6_groups)
+        column = _group_index(pair.v4_prefix.length, v4_groups)
+        counts[row][column] += 1
+        total += 1
+    cells = [
+        [100.0 * value / total if total else 0.0 for value in row]
+        for row in counts
+    ]
+    return Heatmap(
+        title=title,
+        row_labels=[label for _, _, label in v6_groups],
+        column_labels=[label for _, _, label in v4_groups],
+        cells=cells,
+    )
+
+
+def hyper_specific_shares(siblings: SiblingSet) -> tuple[float, float]:
+    """Share of sibling pairs whose IPv4 (resp. IPv6) prefix is more
+    specific than the most-specific globally routable size (/24, /48).
+
+    Section 4.4 observes these hyper-specific prefixes (Sediqi et al.,
+    CCR 2022) are very rare among default-case sibling prefixes.
+    """
+    total = len(siblings)
+    if total == 0:
+        return (0.0, 0.0)
+    v4_hyper = sum(1 for pair in siblings if pair.v4_prefix.length > 24)
+    v6_hyper = sum(1 for pair in siblings if pair.v6_prefix.length > 48)
+    return (v4_hyper / total, v6_hyper / total)
+
+
+def modal_combination(heatmap: Heatmap) -> tuple[str, str, float]:
+    """The (v6 group, v4 group, share) of the densest cell — the paper's
+    '/24-/48 makes up the largest share' style statement."""
+    best = (heatmap.row_labels[0], heatmap.column_labels[0], -1.0)
+    for row_index, row_label in enumerate(heatmap.row_labels):
+        for column_index, column_label in enumerate(heatmap.column_labels):
+            value = heatmap.cells[row_index][column_index]
+            if value > best[2]:
+                best = (row_label, column_label, value)
+    return best

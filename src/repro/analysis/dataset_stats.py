@@ -1,0 +1,49 @@
+"""Figure 1: dataset evolution — domains and dual-stack share over time."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.dns.toplists import Toplist
+from repro.reporting.containers import TimeSeries
+from repro.synth.universe import Universe
+
+
+def dataset_evolution(
+    universe: Universe, dates: list[datetime.date]
+) -> TimeSeries:
+    """Per snapshot: total domains, DS domains, DS share, and per-toplist
+    query counts (the stacked composition of Figure 1 left)."""
+    series: dict[str, list[float]] = {
+        "total_domains": [],
+        "ds_domains": [],
+        "ds_share_pct": [],
+    }
+    for toplist in Toplist:
+        series[toplist.name.lower()] = []
+
+    for date in dates:
+        snapshot = universe.snapshot_at(date)
+        series["total_domains"].append(float(snapshot.domain_count))
+        series["ds_domains"].append(float(snapshot.dual_stack_count))
+        series["ds_share_pct"].append(100.0 * snapshot.dual_stack_share)
+        active = universe.schedule.active(date)
+        counts = {toplist: 0 for toplist in Toplist}
+        for name in universe.queried_names_at(date):
+            spec = universe.fabric.domains.get(_strip_alias(name, universe))
+            if spec is None:
+                continue
+            for toplist in spec.sources & active:
+                counts[toplist] += 1
+        for toplist in Toplist:
+            series[toplist.name.lower()].append(float(counts[toplist]))
+    return TimeSeries("Figure 1: dataset evolution", dates, series)
+
+
+def _strip_alias(queried_name: str, universe: Universe) -> str:
+    """Queried names may be CNAME aliases (``www.<final>``)."""
+    if queried_name in universe.fabric.domains:
+        return queried_name
+    if queried_name.startswith("www."):
+        return queried_name[4:]
+    return queried_name

@@ -1,0 +1,65 @@
+"""Figure 8 (and 33/34): domains-per-prefix heatmap for sibling pairs."""
+
+from __future__ import annotations
+
+from repro.core.siblings import SiblingSet
+from repro.reporting.containers import Heatmap
+
+#: The paper's bins for "number of DS domains on a prefix".
+DOMAIN_BINS: tuple[tuple[int, int], ...] = (
+    (1, 1),
+    (2, 5),
+    (6, 10),
+    (11, 50),
+    (51, 100),
+    (101, 10**9),
+)
+
+BIN_LABELS = ("1", "2-5", "6-10", "11-50", "51-100", ">100")
+
+
+def _bin_of(count: int) -> int:
+    for index, (low, high) in enumerate(DOMAIN_BINS):
+        if low <= count <= high:
+            return index
+    return len(DOMAIN_BINS) - 1
+
+
+def domain_count_heatmap(siblings: SiblingSet) -> Heatmap:
+    """Cell[v6 bin][v4 bin] = % of sibling pairs whose prefixes carry
+    that many DS domains.  Rows ordered top-to-bottom as in the paper
+    (>100 first)."""
+    counts = [[0 for _ in DOMAIN_BINS] for _ in DOMAIN_BINS]
+    total = 0
+    for pair in siblings:
+        row = _bin_of(pair.v6_domain_count)
+        column = _bin_of(pair.v4_domain_count)
+        counts[row][column] += 1
+        total += 1
+    if total:
+        cells = [
+            [100.0 * counts[row][col] / total for col in range(len(DOMAIN_BINS))]
+            for row in range(len(DOMAIN_BINS))
+        ]
+    else:
+        cells = [[0.0] * len(DOMAIN_BINS) for _ in DOMAIN_BINS]
+    # Present with the >100 row on top, like Figure 8.
+    return Heatmap(
+        title="Figure 8: sibling pairs by DS-domain counts (%)",
+        row_labels=list(reversed(BIN_LABELS)),
+        column_labels=list(BIN_LABELS),
+        cells=list(reversed(cells)),
+    )
+
+
+def diagonal_share(heatmap: Heatmap) -> float:
+    """Share of pairs on the diagonal — 'sibling prefixes tend to have a
+    similar number of domains for IPv4 and IPv6'."""
+    total = heatmap.total()
+    if total == 0:
+        return 0.0
+    n = len(BIN_LABELS)
+    diagonal = sum(
+        heatmap.cells[n - 1 - index][index] for index in range(n)
+    )
+    return diagonal / total

@@ -1,0 +1,140 @@
+"""Figure 7: address and prefix dynamics of dual-stack domains.
+
+Left subplot — how many of the last 13 monthly snapshots each DS domain
+appears in; centre/right — among *consistent* DS domains (visible in all
+13), the share whose prefixes / addresses match the reference snapshot at
+increasing lookback.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.analysis.pipeline import stability_offsets
+from repro.dates import add_months
+from repro.nettypes.addr import IPV4, IPV6
+from repro.synth.universe import Universe
+
+
+@dataclass
+class DynamicsReport:
+    """All three Figure 7 subplots."""
+
+    #: visibility frequency (1..13) → number of DS domains.
+    visibility_histogram: dict[int, int] = field(default_factory=dict)
+    consistent_domains: list[str] = field(default_factory=list)
+    #: offset label → % of consistent domains with same v4/v6/both prefix.
+    same_prefix: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+    #: offset label → % with same v4/v6/both addresses.
+    same_address: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+
+    @property
+    def total_ds_domains(self) -> int:
+        return sum(self.visibility_histogram.values())
+
+    def visibility_share(self, frequency: int) -> float:
+        total = self.total_ds_domains
+        if total == 0:
+            return 0.0
+        return self.visibility_histogram.get(frequency, 0) / total
+
+
+def analyze_dynamics(
+    universe: Universe, reference: datetime.date, months: int = 13
+) -> DynamicsReport:
+    """Compute the full Figure 7 report over a *months*-long window."""
+    window = [add_months(reference, -offset) for offset in range(months - 1, -1, -1)]
+    report = DynamicsReport()
+
+    appearances: dict[str, int] = {}
+    for date in window:
+        snapshot = universe.snapshot_at(date)
+        for observation in snapshot.dual_stack_observations():
+            appearances[observation.domain] = appearances.get(observation.domain, 0) + 1
+    for count in appearances.values():
+        report.visibility_histogram[count] = (
+            report.visibility_histogram.get(count, 0) + 1
+        )
+    report.consistent_domains = sorted(
+        domain for domain, count in appearances.items() if count == months
+    )
+
+    reference_state = _domain_state(universe, reference, report.consistent_domains)
+    for label, date in stability_offsets(reference):
+        state = _domain_state(universe, date, report.consistent_domains)
+        report.same_prefix[label] = _match_shares(
+            reference_state, state, field_index=0
+        )
+        report.same_address[label] = _match_shares(
+            reference_state, state, field_index=1
+        )
+    return report
+
+
+def _domain_state(
+    universe: Universe, date: datetime.date, domains: list[str]
+) -> dict[str, tuple[tuple, tuple]]:
+    """domain → ((v4 prefixes, v6 prefixes), (v4 addrs, v6 addrs))."""
+    rib = universe.rib_at(date)
+    state: dict[str, tuple[tuple, tuple]] = {}
+    snapshot = universe.snapshot_at(date)
+    for domain in domains:
+        observation = snapshot.get(domain)
+        if observation is None:
+            spec = universe.fabric.domains.get(domain)
+            if spec is None or spec.created > date:
+                continue
+            v4_addresses, v6_addresses = universe.addresses_for(spec, date)
+        else:
+            v4_addresses = list(observation.v4_addresses)
+            v6_addresses = list(observation.v6_addresses)
+        v4_prefixes = tuple(
+            sorted(
+                {
+                    route.prefix
+                    for route in (
+                        rib.route_for_address(IPV4, a) for a in v4_addresses
+                    )
+                    if route is not None
+                }
+            )
+        )
+        v6_prefixes = tuple(
+            sorted(
+                {
+                    route.prefix
+                    for route in (
+                        rib.route_for_address(IPV6, a) for a in v6_addresses
+                    )
+                    if route is not None
+                }
+            )
+        )
+        state[domain] = (
+            (v4_prefixes, v6_prefixes),
+            (tuple(sorted(v4_addresses)), tuple(sorted(v6_addresses))),
+        )
+    return state
+
+
+def _match_shares(
+    reference: dict, other: dict, field_index: int
+) -> tuple[float, float, float]:
+    """(% same v4, % same v6, % same both) vs the reference state."""
+    total = same_v4 = same_v6 = same_both = 0
+    for domain, ref_state in reference.items():
+        other_state = other.get(domain)
+        if other_state is None:
+            continue
+        total += 1
+        ref_v4, ref_v6 = ref_state[field_index]
+        cur_v4, cur_v6 = other_state[field_index]
+        v4_match = ref_v4 == cur_v4
+        v6_match = ref_v6 == cur_v6
+        same_v4 += v4_match
+        same_v6 += v6_match
+        same_both += v4_match and v6_match
+    if total == 0:
+        return (0.0, 0.0, 0.0)
+    return (100.0 * same_v4 / total, 100.0 * same_v6 / total, 100.0 * same_both / total)

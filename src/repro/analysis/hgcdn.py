@@ -1,0 +1,106 @@
+"""Figure 17 (and 23-25): sibling similarity in hypergiant/CDN networks.
+
+Pairs are attributed to a hypergiant or CDN when both prefixes' origin
+ASes belong to that organization; everything else lands in the
+``non-CDN-HG`` row.  Each row shows the distribution of the pairs'
+Jaccard values over ten deciles.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.organizations import pair_origins
+from repro.core.siblings import SiblingSet
+from repro.reporting.containers import Heatmap
+from repro.synth.universe import Universe
+
+#: Rows with fewer pairs than this are folded into "other-HG-CDN"
+#: (the paper uses 50 at full scale; benches pass a scale-appropriate
+#: value).
+DEFAULT_MIN_PAIRS = 50
+
+DECILE_LABELS = tuple(
+    f"{low / 10:.1f}-{(low + 1) / 10:.1f}" for low in range(10)
+)
+
+
+def _decile(value: float) -> int:
+    if value >= 1.0:
+        return 9
+    return min(int(value * 10), 9)
+
+
+@dataclass
+class HgCdnDistribution:
+    """Raw per-organization decile counts before formatting."""
+
+    rows: dict[str, list[int]]
+
+    def pair_count(self, org: str) -> int:
+        return sum(self.rows.get(org, [0] * 10))
+
+    def high_similarity_share(self, org: str) -> float:
+        """Share of the org's pairs in the 0.9-1.0 decile."""
+        row = self.rows.get(org)
+        if not row or sum(row) == 0:
+            return 0.0
+        return row[9] / sum(row)
+
+
+def hgcdn_distribution(
+    universe: Universe, siblings: SiblingSet, date: datetime.date
+) -> HgCdnDistribution:
+    """Attribute every pair to an HG/CDN (same org both sides) or the
+    non-CDN-HG bucket and bin its Jaccard value."""
+    registry = universe.registry
+    rows: dict[str, list[int]] = defaultdict(lambda: [0] * 10)
+    for pair in siblings:
+        origins = pair_origins(universe, pair, date)
+        org_name = None
+        if (
+            origins.same_org
+            and origins.v4_org is not None
+            and registry.is_hgcdn(origins.v4_org)
+        ):
+            org_name = origins.v4_org
+        bucket = org_name if org_name is not None else "non-CDN-HG"
+        rows[bucket][_decile(pair.similarity)] += 1
+    return HgCdnDistribution(rows=dict(rows))
+
+
+def hgcdn_heatmap(
+    distribution: HgCdnDistribution, min_pairs: int = DEFAULT_MIN_PAIRS
+) -> Heatmap:
+    """Figure 17: per-org percentage distribution over Jaccard deciles,
+    small orgs folded into "other-HG-CDN", non-CDN-HG last."""
+    named: list[tuple[str, list[int]]] = []
+    other = [0] * 10
+    for org, row in distribution.rows.items():
+        if org == "non-CDN-HG":
+            continue
+        if sum(row) >= min_pairs:
+            named.append((org, row))
+        else:
+            other = [a + b for a, b in zip(other, row)]
+    named.sort(key=lambda item: -sum(item[1]))
+    rows = named
+    if sum(other):
+        rows = rows + [("other-HG-CDN", other)]
+    rows = rows + [("non-CDN-HG", distribution.rows.get("non-CDN-HG", [0] * 10))]
+
+    row_labels = [f"{org} ({sum(row)})" for org, row in rows]
+    cells = []
+    for _, row in rows:
+        total = sum(row)
+        cells.append(
+            [100.0 * value / total if total else 0.0 for value in row]
+        )
+    return Heatmap(
+        title="Figure 17: Jaccard distribution per HG/CDN (%)",
+        row_labels=row_labels,
+        column_labels=list(DECILE_LABELS),
+        cells=cells,
+    )

@@ -1,0 +1,105 @@
+"""Figures 14/15 (and 29-32): origin-AS organizations of sibling pairs.
+
+A pair is "same organization" when the IPv4 and IPv6 origin ASes share an
+AS number or an organization name (after sibling-AS merging), Section 4.5.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.core.siblings import SiblingPair, SiblingSet
+from repro.reporting.containers import percentile
+from repro.synth.universe import Universe
+
+
+@dataclass(frozen=True, slots=True)
+class PairOrigins:
+    """Origin attribution for one sibling pair."""
+
+    v4_asn: int | None
+    v6_asn: int | None
+    v4_org: str | None
+    v6_org: str | None
+    same_org: bool
+
+
+def pair_origins(
+    universe: Universe, pair: SiblingPair, date: datetime.date
+) -> PairOrigins:
+    """Resolve both prefixes to origin AS and organization on *date*.
+
+    Tuned prefixes are more specific than announcements, so resolution
+    uses longest-prefix match against the RIB of that date.
+    """
+    rib = universe.rib_at(date)
+    as2org = universe.as2org_at(date)
+    route4 = rib.route_for_prefix(pair.v4_prefix)
+    route6 = rib.route_for_prefix(pair.v6_prefix)
+    v4_asn = route4.origin if route4 is not None else None
+    v6_asn = route6.origin if route6 is not None else None
+    v4_org = as2org.org_of(v4_asn) if v4_asn is not None else None
+    v6_org = as2org.org_of(v6_asn) if v6_asn is not None else None
+    same = (
+        v4_asn is not None
+        and v6_asn is not None
+        and as2org.same_org(v4_asn, v6_asn)
+    )
+    return PairOrigins(v4_asn, v6_asn, v4_org, v6_org, same)
+
+
+@dataclass
+class OrgSplit:
+    """Same-org / different-org partition of a sibling set."""
+
+    date: datetime.date
+    same_org: list[SiblingPair] = field(default_factory=list)
+    different_org: list[SiblingPair] = field(default_factory=list)
+    unresolved: list[SiblingPair] = field(default_factory=list)
+
+    @property
+    def same_count(self) -> int:
+        return len(self.same_org)
+
+    @property
+    def different_count(self) -> int:
+        return len(self.different_org)
+
+    def median_jaccard(self, same: bool) -> float:
+        pairs = self.same_org if same else self.different_org
+        if not pairs:
+            return 0.0
+        return percentile([q.similarity for q in pairs], 0.5)
+
+    def quartiles(self, same: bool) -> tuple[float, float]:
+        pairs = self.same_org if same else self.different_org
+        if not pairs:
+            return (0.0, 0.0)
+        values = [q.similarity for q in pairs]
+        return (percentile(values, 0.25), percentile(values, 0.75))
+
+
+def split_by_organization(
+    universe: Universe, siblings: SiblingSet, date: datetime.date
+) -> OrgSplit:
+    """Partition sibling pairs by origin-organization equality."""
+    split = OrgSplit(date=date)
+    for pair in siblings:
+        origins = pair_origins(universe, pair, date)
+        if origins.v4_asn is None or origins.v6_asn is None:
+            split.unresolved.append(pair)
+        elif origins.same_org:
+            split.same_org.append(pair)
+        else:
+            split.different_org.append(pair)
+    return split
+
+
+def unique_prefix_counts(siblings: SiblingSet) -> tuple[int, int]:
+    """(unique IPv4 prefixes, unique IPv6 prefixes) — the red/blue lines
+    of Figure 14."""
+    return (
+        len(siblings.unique_v4_prefixes()),
+        len(siblings.unique_v6_prefixes()),
+    )

@@ -1,0 +1,65 @@
+"""Pipeline plumbing shared by the analyses and benches."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.detection import detect_with_index
+from repro.core.domainsets import PrefixDomainIndex
+from repro.core.siblings import SiblingSet
+from repro.core.sptuner import SpTunerMS, TunerConfig
+from repro.dates import add_months
+from repro.synth.universe import Universe
+
+
+def detect_at(
+    universe: Universe, date: datetime.date
+) -> tuple[SiblingSet, PrefixDomainIndex]:
+    """Default-case (BGP-announced) sibling detection on one date."""
+    snapshot = universe.snapshot_at(date)
+    annotator = universe.annotator_at(date)
+    return detect_with_index(snapshot, annotator)
+
+
+def tuned_at(
+    universe: Universe,
+    date: datetime.date,
+    config: TunerConfig = TunerConfig(),
+) -> tuple[SiblingSet, PrefixDomainIndex]:
+    """SP-Tuner-refined sibling detection on one date."""
+    siblings, index = detect_at(universe, date)
+    tuner = SpTunerMS(index, config)
+    return tuner.tune_all(siblings), index
+
+
+def paper_offsets(
+    reference: datetime.date,
+) -> list[tuple[str, datetime.date]]:
+    """The x-axis of Figures 7/9/11/12: Year -4 … Day 0."""
+    return [
+        ("Year -4", add_months(reference, -48)),
+        ("Year -3", add_months(reference, -36)),
+        ("Year -2", add_months(reference, -24)),
+        ("Year -1", add_months(reference, -12)),
+        ("Month -6", add_months(reference, -6)),
+        ("Month -3", add_months(reference, -3)),
+        ("Month -1", add_months(reference, -1)),
+        ("Week -1", reference - datetime.timedelta(days=7)),
+        ("Day -1", reference - datetime.timedelta(days=1)),
+        ("Day 0", reference),
+    ]
+
+
+def stability_offsets(
+    reference: datetime.date,
+) -> list[tuple[str, datetime.date]]:
+    """The x-axis of Figure 7 centre/right (one-year lookback)."""
+    return [
+        ("Day 0", reference),
+        ("Day -1", reference - datetime.timedelta(days=1)),
+        ("Week -1", reference - datetime.timedelta(days=7)),
+        ("Month -1", add_months(reference, -1)),
+        ("Month -3", add_months(reference, -3)),
+        ("Month -6", add_months(reference, -6)),
+        ("Year -1", add_months(reference, -12)),
+    ]

@@ -1,0 +1,71 @@
+"""Sibling-pair stability over time.
+
+The abstract's claim — "we find sibling prefixes to be relatively stable
+over time" — deserves its own measurement beyond the change-class split
+of Figure 10: for each earlier snapshot, how many of its sibling pairs
+still exist (and how many still carry the same Jaccard value) on the
+reference date?
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.analysis.pipeline import detect_at
+from repro.core.longitudinal import classify_changes
+from repro.reporting.containers import TimeSeries
+from repro.synth.universe import Universe
+
+
+@dataclass(frozen=True, slots=True)
+class SurvivalPoint:
+    """Survival of one earlier snapshot's pairs into the reference set."""
+
+    date: datetime.date
+    pairs_then: int
+    surviving: int
+    surviving_identical: int
+
+    @property
+    def survival_share(self) -> float:
+        return self.surviving / self.pairs_then if self.pairs_then else 0.0
+
+    @property
+    def identical_share(self) -> float:
+        return self.surviving_identical / self.pairs_then if self.pairs_then else 0.0
+
+
+def pair_survival(
+    universe: Universe,
+    dates: list[datetime.date],
+    reference: datetime.date,
+) -> list[SurvivalPoint]:
+    """For each earlier date, the share of its pairs alive on *reference*."""
+    reference_set, _ = detect_at(universe, reference)
+    points: list[SurvivalPoint] = []
+    for date in dates:
+        earlier, _ = detect_at(universe, date)
+        report = classify_changes(earlier, reference_set)
+        surviving = len(report.unchanged) + len(report.changed)
+        points.append(
+            SurvivalPoint(
+                date=date,
+                pairs_then=len(earlier),
+                surviving=surviving,
+                surviving_identical=len(report.unchanged),
+            )
+        )
+    return points
+
+
+def survival_timeseries(points: list[SurvivalPoint]) -> TimeSeries:
+    return TimeSeries(
+        "Sibling pair survival into the reference snapshot (%)",
+        [point.date for point in points],
+        {
+            "survival_pct": [100.0 * p.survival_share for p in points],
+            "identical_pct": [100.0 * p.identical_share for p in points],
+            "pairs_then": [float(p.pairs_then) for p in points],
+        },
+    )

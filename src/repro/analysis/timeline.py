@@ -1,0 +1,73 @@
+"""Figure 9 (and the bar component of Figure 14): sibling counts over time."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.analysis.organizations import split_by_organization, unique_prefix_counts
+from repro.analysis.pipeline import detect_at, tuned_at
+from repro.core.sptuner import ROUTABLE_CONFIG, TunerConfig
+from repro.reporting.containers import TimeSeries
+from repro.synth.universe import Universe
+
+
+def _siblings_at(universe: Universe, date, case: str):
+    if case == "default":
+        return detect_at(universe, date)
+    if case == "routable":
+        return tuned_at(universe, date, ROUTABLE_CONFIG)
+    if case == "deep":
+        return tuned_at(universe, date, TunerConfig())
+    raise ValueError(f"unknown case {case!r}; use default/routable/deep")
+
+
+def sibling_count_timeline(
+    universe: Universe, dates: list[datetime.date]
+) -> TimeSeries:
+    """Pair counts plus unique-prefix counts at each date (Figure 9)."""
+    pairs: list[float] = []
+    v4_prefixes: list[float] = []
+    v6_prefixes: list[float] = []
+    for date in dates:
+        siblings, _ = detect_at(universe, date)
+        pairs.append(float(len(siblings)))
+        unique_v4, unique_v6 = unique_prefix_counts(siblings)
+        v4_prefixes.append(float(unique_v4))
+        v6_prefixes.append(float(unique_v6))
+    return TimeSeries(
+        "Figure 9: sibling prefix pairs over time",
+        dates,
+        {
+            "pairs": pairs,
+            "unique_v4_prefixes": v4_prefixes,
+            "unique_v6_prefixes": v6_prefixes,
+        },
+    )
+
+
+def org_split_timeline(
+    universe: Universe, dates: list[datetime.date], case: str = "default"
+) -> TimeSeries:
+    """Same/different organization pair counts over time (Figure 14;
+    the ``routable`` case gives Figures 30/32)."""
+    same: list[float] = []
+    different: list[float] = []
+    medians_same: list[float] = []
+    medians_diff: list[float] = []
+    for date in dates:
+        siblings, _ = _siblings_at(universe, date, case)
+        split = split_by_organization(universe, siblings, date)
+        same.append(float(split.same_count))
+        different.append(float(split.different_count))
+        medians_same.append(split.median_jaccard(same=True))
+        medians_diff.append(split.median_jaccard(same=False))
+    return TimeSeries(
+        "Figure 14/15: organization split over time",
+        dates,
+        {
+            "same_org_pairs": same,
+            "diff_org_pairs": different,
+            "same_org_median_jaccard": medians_same,
+            "diff_org_median_jaccard": medians_diff,
+        },
+    )

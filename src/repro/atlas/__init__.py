@@ -1,0 +1,19 @@
+"""Ground-truth vantage points (Section 3.5).
+
+Dual-stack vantage points — RIPE-Atlas-like probes and IPinfo-style
+VPSes — are sampled from the universe with a controlled mix of placements
+(fully inside sibling deployments, partially covered, uncovered), and
+:mod:`repro.atlas.groundtruth` evaluates detected sibling sets against
+them exactly as the paper does.
+"""
+
+from repro.atlas.groundtruth import CoverageReport, evaluate_coverage
+from repro.atlas.probes import VantagePoint, VantageKind, generate_vantage_points
+
+__all__ = [
+    "CoverageReport",
+    "VantageKind",
+    "VantagePoint",
+    "evaluate_coverage",
+    "generate_vantage_points",
+]

@@ -1,0 +1,87 @@
+"""Vantage-point coverage evaluation (Section 3.5).
+
+For every dual-stack vantage point, check whether its IPv4 and IPv6
+addresses fall inside the detected sibling prefixes (fully / partially /
+not covered), and — among the fully covered — whether one best-match
+sibling pair covers both addresses at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atlas.probes import VantagePoint
+from repro.core.siblings import SiblingSet
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+from repro.nettypes.trie import PatriciaTrie
+
+
+@dataclass
+class CoverageReport:
+    """Counts mirroring the paper's Section 3.5 evaluation."""
+
+    fully_covered: int = 0
+    partially_covered: int = 0
+    not_covered: int = 0
+    #: Of the fully covered: both addresses inside one sibling pair.
+    in_best_match_pair: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.fully_covered + self.partially_covered + self.not_covered
+
+    @property
+    def fully_covered_share(self) -> float:
+        return self.fully_covered / self.total if self.total else 0.0
+
+    @property
+    def partially_covered_share(self) -> float:
+        return self.partially_covered / self.total if self.total else 0.0
+
+    @property
+    def not_covered_share(self) -> float:
+        return self.not_covered / self.total if self.total else 0.0
+
+    @property
+    def best_match_share(self) -> float:
+        """Among fully covered points (paper: 89.36%)."""
+        if self.fully_covered == 0:
+            return 0.0
+        return self.in_best_match_pair / self.fully_covered
+
+
+def evaluate_coverage(
+    points: list[VantagePoint], siblings: SiblingSet
+) -> CoverageReport:
+    """Classify every vantage point against the sibling set."""
+    trie_v4: PatriciaTrie = PatriciaTrie(IPV4)
+    trie_v6: PatriciaTrie = PatriciaTrie(IPV6)
+    # prefix → set of pair keys, so best-match pairing can be checked.
+    for pair in siblings:
+        existing4 = trie_v4.get(pair.v4_prefix) or set()
+        existing4.add(pair.key)
+        trie_v4.insert(pair.v4_prefix, existing4)
+        existing6 = trie_v6.get(pair.v6_prefix) or set()
+        existing6.add(pair.key)
+        trie_v6.insert(pair.v6_prefix, existing6)
+
+    report = CoverageReport()
+    for point in points:
+        pairs_v4: set = set()
+        for _, keys in trie_v4.covering(Prefix.host(IPV4, point.v4_address)):
+            pairs_v4 |= keys
+        pairs_v6: set = set()
+        for _, keys in trie_v6.covering(Prefix.host(IPV6, point.v6_address)):
+            pairs_v6 |= keys
+        covered_v4 = bool(pairs_v4)
+        covered_v6 = bool(pairs_v6)
+        if covered_v4 and covered_v6:
+            report.fully_covered += 1
+            if pairs_v4 & pairs_v6:
+                report.in_best_match_pair += 1
+        elif covered_v4 or covered_v6:
+            report.partially_covered += 1
+        else:
+            report.not_covered += 1
+    return report

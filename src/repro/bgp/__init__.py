@@ -1,0 +1,12 @@
+"""The Routeviews-equivalent BGP substrate.
+
+Provides a routing information base with longest-prefix match
+(:mod:`repro.bgp.rib`) and a dated snapshot provider with the paper's
+"OpenINTEL annotation with Routeviews fallback" lookup logic
+(:mod:`repro.bgp.routeviews`).
+"""
+
+from repro.bgp.rib import Rib, Route
+from repro.bgp.routeviews import PrefixAnnotator, RibArchive
+
+__all__ = ["PrefixAnnotator", "Rib", "RibArchive", "Route"]

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``detect``     — run the detection pipeline on a scenario and print or
+  export the sibling prefix list (CSV/JSONL, optionally tuned).
+* ``experiment`` — run any registered per-figure experiment.
+* ``scenarios``  — list the available scenario presets.
+* ``lookup``     — query an exported list for a prefix or address.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.sptuner import SpTunerMS, TunerConfig
+from repro.dates import REFERENCE_DATE
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sibling prefix detection (IMC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="detect sibling prefixes")
+    detect.add_argument("--scenario", default="tiny", help="scenario preset")
+    detect.add_argument(
+        "--tune",
+        metavar="V4,V6",
+        help="apply SP-Tuner with these thresholds, e.g. 28,96",
+    )
+    detect.add_argument(
+        "--format", choices=("table", "csv", "jsonl"), default="table"
+    )
+    detect.add_argument(
+        "--output", "-o", help="write to this file instead of stdout"
+    )
+    detect.add_argument(
+        "--with-rov", action="store_true", help="attach ROV status (slower)"
+    )
+    detect.add_argument(
+        "--min-jaccard", type=float, default=0.0, help="similarity floor"
+    )
+
+    experiment = sub.add_parser("experiment", help="run a per-figure experiment")
+    experiment.add_argument("experiment_id", help="e.g. fig05, sec42")
+    experiment.add_argument("--scenario", default="tiny")
+
+    sub.add_parser("scenarios", help="list scenario presets")
+
+    lookup = sub.add_parser("lookup", help="query an exported list")
+    lookup.add_argument("list_file", help="CSV export from `detect --format csv`")
+    lookup.add_argument("query", help="IPv4/IPv6 prefix or address")
+    return parser
+
+
+def _parse_thresholds(text: str) -> TunerConfig:
+    try:
+        v4_text, v6_text = text.split(",")
+        return TunerConfig(v4_threshold=int(v4_text), v6_threshold=int(v6_text))
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"invalid --tune value {text!r}: {exc}")
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.core.detection import detect_with_index
+    from repro.core.siblings import SiblingSet
+    from repro import publish
+    from repro.synth import build_universe
+
+    universe = build_universe(args.scenario)
+    siblings, index = detect_with_index(
+        universe.snapshot_at(REFERENCE_DATE),
+        universe.annotator_at(REFERENCE_DATE),
+    )
+    if args.tune:
+        config = _parse_thresholds(args.tune)
+        siblings = SpTunerMS(index, config).tune_all(siblings)
+    if args.min_jaccard > 0.0:
+        siblings = SiblingSet(
+            siblings.date,
+            (p for p in siblings if p.similarity >= args.min_jaccard),
+        )
+
+    repository = None
+    if args.with_rov:
+        from repro.rpki.builder import repository_from_universe
+
+        repository = repository_from_universe(universe)
+    published = publish.enrich_pairs(
+        universe, siblings, REFERENCE_DATE, repository
+    )
+
+    stream = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.format == "csv":
+            publish.write_csv(published, stream, REFERENCE_DATE)
+        elif args.format == "jsonl":
+            publish.write_jsonl(published, stream, REFERENCE_DATE)
+        else:
+            stream.write(
+                f"{len(published)} sibling pairs "
+                f"(perfect: {siblings.perfect_match_share:.1%})\n"
+            )
+            for pair in published:
+                org = {True: "same-org", False: "diff-org", None: "?"}[pair.same_org]
+                stream.write(
+                    f"{str(pair.v4_prefix):<22} {str(pair.v6_prefix):<30} "
+                    f"J={pair.jaccard:<8.3f} domains={pair.shared_domains:<5d} "
+                    f"{org}"
+                    + (f" rov={pair.rov_status}" if pair.rov_status else "")
+                    + "\n"
+                )
+    finally:
+        if args.output:
+            stream.close()
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.reporting.experiments import run_experiment
+    from repro.synth import build_universe
+
+    universe = build_universe(args.scenario)
+    result = run_experiment(args.experiment_id, universe)
+    print(result.title)
+    print("=" * len(result.title))
+    print(result.text)
+    print()
+    for line in result.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    from repro.synth.scenarios import SCENARIOS
+
+    for name, config in SCENARIOS.items():
+        print(
+            f"{name:<8} service_orgs={config.n_service_orgs:<6} "
+            f"hgcdn={config.n_hgcdn_orgs:<3} probes={config.n_probes:<5} "
+            f"monitoring={config.monitoring_v4_placements}x"
+            f"{config.monitoring_v6_placements}"
+        )
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    from repro import publish
+    from repro.nettypes.prefix import Prefix
+
+    query = Prefix.parse(args.query)
+    with open(args.list_file) as stream:
+        pairs = publish.read_csv(stream)
+    hits = [
+        pair
+        for pair in pairs
+        if (query.version == pair.v4_prefix.version and pair.v4_prefix.overlaps(query))
+        or (query.version == pair.v6_prefix.version and pair.v6_prefix.overlaps(query))
+    ]
+    if not hits:
+        print(f"no sibling pair covers {query}")
+        return 1
+    for pair in hits:
+        print(
+            f"{pair.v4_prefix} <-> {pair.v6_prefix}  J={pair.jaccard:.3f} "
+            f"domains={pair.shared_domains}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "detect":
+        return _cmd_detect(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios()
+    if args.command == "lookup":
+        return _cmd_lookup(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Steps 1-2 of the methodology: dual-stack domains → prefix groups.
+
+Takes one measurement snapshot, keeps the dual-stack domains, maps every
+address to its BGP prefix through the annotator (with the paper's
+reserved-address discard and Routeviews fallback), and groups domains by
+prefix per family.  The resulting :class:`PrefixDomainIndex` is the input
+to both the similarity matrix (Step 3) and the SP-Tuner tries.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.dns.openintel import DnsSnapshot
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+
+
+@dataclass
+class PrefixDomainIndex:
+    """Bidirectional domain ↔ prefix grouping for one snapshot."""
+
+    date: datetime.date
+    #: prefix → dual-stack domains with at least one address inside it.
+    v4_domains: dict[Prefix, set[str]] = field(default_factory=dict)
+    v6_domains: dict[Prefix, set[str]] = field(default_factory=dict)
+    #: domain → prefixes of its addresses.
+    domain_v4_prefixes: dict[str, set[Prefix]] = field(default_factory=dict)
+    domain_v6_prefixes: dict[str, set[Prefix]] = field(default_factory=dict)
+    #: domain → concrete addresses (consumed by the SP-Tuner tries).
+    domain_v4_addresses: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    domain_v6_addresses: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    #: DS domains dropped because no address annotated on one family
+    #: (reserved/unrouted).
+    dropped_domains: int = 0
+
+    @property
+    def domain_count(self) -> int:
+        return len(self.domain_v4_prefixes)
+
+    @property
+    def v4_prefix_count(self) -> int:
+        return len(self.v4_domains)
+
+    @property
+    def v6_prefix_count(self) -> int:
+        return len(self.v6_domains)
+
+    def domains_of(self, prefix: Prefix) -> frozenset[str]:
+        table = self.v4_domains if prefix.version == IPV4 else self.v6_domains
+        return frozenset(table.get(prefix, ()))
+
+    def origin_asns(self, annotator_rib) -> tuple[set[int], set[int]]:
+        """Origin AS sets of the indexed v4 and v6 prefixes."""
+        v4 = set()
+        for prefix in self.v4_domains:
+            route = annotator_rib.exact_route(prefix)
+            if route is not None:
+                v4.update(route.origins)
+        v6 = set()
+        for prefix in self.v6_domains:
+            route = annotator_rib.exact_route(prefix)
+            if route is not None:
+                v6.update(route.origins)
+        return v4, v6
+
+
+def build_index_from_entries(
+    date: datetime.date,
+    entries: "Iterable[tuple[str, Iterable[int], Iterable[int]]]",
+    annotator: PrefixAnnotator,
+) -> PrefixDomainIndex:
+    """Group arbitrary (label, v4 addrs, v6 addrs) entries by prefix.
+
+    The methodology only needs "a mapping from a prefix to a set"
+    (Section 3.7) — the label can be a domain, an MX exchange's mail
+    domain, or a reverse-DNS host name.
+    """
+    index = PrefixDomainIndex(date=date)
+    for label, raw_v4, raw_v6 in entries:
+        v4_prefixes: set[Prefix] = set()
+        v4_addresses: list[int] = []
+        for address in raw_v4:
+            route = annotator.annotate(IPV4, address)
+            if route is not None:
+                v4_prefixes.add(route.prefix)
+                v4_addresses.append(address)
+        v6_prefixes: set[Prefix] = set()
+        v6_addresses: list[int] = []
+        for address in raw_v6:
+            route = annotator.annotate(IPV6, address)
+            if route is not None:
+                v6_prefixes.add(route.prefix)
+                v6_addresses.append(address)
+        if not v4_prefixes or not v6_prefixes:
+            # All addresses of one family were reserved or unrouted: the
+            # entry is no longer usable for prefix pairing.
+            index.dropped_domains += 1
+            continue
+        index.domain_v4_prefixes[label] = v4_prefixes
+        index.domain_v6_prefixes[label] = v6_prefixes
+        index.domain_v4_addresses[label] = tuple(v4_addresses)
+        index.domain_v6_addresses[label] = tuple(v6_addresses)
+        for prefix in v4_prefixes:
+            index.v4_domains.setdefault(prefix, set()).add(label)
+        for prefix in v6_prefixes:
+            index.v6_domains.setdefault(prefix, set()).add(label)
+    return index
+
+
+def build_index(
+    snapshot: DnsSnapshot, annotator: PrefixAnnotator
+) -> PrefixDomainIndex:
+    """Extract DS domains and group them by annotated prefix."""
+    return build_index_from_entries(
+        snapshot.date,
+        (
+            (o.domain, o.v4_addresses, o.v6_addresses)
+            for o in snapshot.dual_stack_observations()
+        ),
+        annotator,
+    )

@@ -1,0 +1,138 @@
+"""Alternative input signals for sibling detection (Section 6).
+
+The paper argues the methodology generalizes beyond forward DNS: "we can
+identify sibling prefixes using other services, such as DNS MX records,
+rDNS names, or aliased hosts. As long as these inputs result in a mapping
+from a prefix to a set, our technique ... can still be applied."
+
+Three input builders share :func:`~repro.core.domainsets.build_index_from_entries`:
+
+* ``domains``  — the default forward-DNS signal (Steps 1-2),
+* ``mx``       — mail domains mapped through their MX exchanges' addresses,
+* ``rdns``     — reverse-DNS host names per address.
+
+:func:`compare_inputs` quantifies how much the resulting sibling sets
+agree, which is the experiment backing the Section 6 claim.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.domainsets import (
+    PrefixDomainIndex,
+    build_index,
+    build_index_from_entries,
+)
+from repro.core.detection import compute_pair_stats, select_best_matches
+from repro.core.siblings import SiblingSet
+from repro.dns.openintel import DnsSnapshot
+from repro.dns.records import RRType
+from repro.dns.resolver import Resolver
+from repro.dns.zone import Zone
+
+
+def index_from_domains(
+    snapshot: DnsSnapshot, annotator: PrefixAnnotator
+) -> PrefixDomainIndex:
+    """The default signal: dual-stack forward-DNS domains."""
+    return build_index(snapshot, annotator)
+
+
+def index_from_mx(
+    zone: Zone,
+    queried_domains: list[str],
+    annotator: PrefixAnnotator,
+    date: datetime.date,
+) -> PrefixDomainIndex:
+    """Mail-domain signal: each domain maps to the addresses of its MX
+    exchange hosts (both families resolved through the zone)."""
+    resolver = Resolver(zone)
+    entries: list[tuple[str, list[int], list[int]]] = []
+    for domain in queried_domains:
+        exchanges = resolver.resolve_mx(domain)
+        if not exchanges:
+            continue
+        v4: list[int] = []
+        v6: list[int] = []
+        for exchange in exchanges:
+            result_a = resolver.resolve(exchange, RRType.A)
+            result_aaaa = resolver.resolve(exchange, RRType.AAAA)
+            if result_a.ok:
+                v4.extend(result_a.addresses)
+            if result_aaaa.ok:
+                v6.extend(result_aaaa.addresses)
+        if v4 and v6:
+            entries.append((domain, v4, v6))
+    return build_index_from_entries(date, entries, annotator)
+
+
+def index_from_rdns(
+    rdns_names: dict[tuple[int, int], str],
+    annotator: PrefixAnnotator,
+    date: datetime.date,
+) -> PrefixDomainIndex:
+    """Reverse-DNS signal: hosts appearing under the same rDNS name on
+    both families behave exactly like dual-stack domains."""
+    v4_by_name: dict[str, list[int]] = {}
+    v6_by_name: dict[str, list[int]] = {}
+    for (version, address), name in rdns_names.items():
+        if version == 4:
+            v4_by_name.setdefault(name, []).append(address)
+        else:
+            v6_by_name.setdefault(name, []).append(address)
+    entries = [
+        (name, v4_by_name[name], v6_by_name[name])
+        for name in v4_by_name.keys() & v6_by_name.keys()
+    ]
+    return build_index_from_entries(date, sorted(entries), annotator)
+
+
+def siblings_from_index(index: PrefixDomainIndex) -> SiblingSet:
+    """Steps 3-4 over any pre-built index."""
+    stats = compute_pair_stats(index)
+    return select_best_matches(stats, index)
+
+
+@dataclass(frozen=True, slots=True)
+class InputAgreement:
+    """Pairwise agreement between two input signals' sibling sets."""
+
+    label_a: str
+    label_b: str
+    pairs_a: int
+    pairs_b: int
+    #: Pairs of *a* whose IPv4 AND IPv6 prefixes overlap some pair of *b*.
+    compatible: int
+
+    @property
+    def compatibility_share(self) -> float:
+        return self.compatible / self.pairs_a if self.pairs_a else 0.0
+
+
+def compare_inputs(
+    label_a: str, siblings_a: SiblingSet, label_b: str, siblings_b: SiblingSet
+) -> InputAgreement:
+    """How often does signal *b* confirm signal *a*'s pairs?
+
+    Exact pair equality is too strict across signals (prefix grouping
+    differs), so agreement means overlapping prefixes on both sides.
+    """
+    compatible = 0
+    b_pairs = list(siblings_b)
+    for pair in siblings_a:
+        for other in b_pairs:
+            if pair.v4_prefix.overlaps(other.v4_prefix) and pair.v6_prefix.overlaps(
+                other.v6_prefix
+            ):
+                compatible += 1
+                break
+    return InputAgreement(
+        label_a=label_a,
+        label_b=label_b,
+        pairs_a=len(siblings_a),
+        pairs_b=len(siblings_b),
+        compatible=compatible,
+    )

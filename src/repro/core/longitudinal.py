@@ -1,0 +1,78 @@
+"""Longitudinal comparison of sibling sets (Section 4.3, Figure 10).
+
+Pairs are classified by comparing an old snapshot's sibling set with the
+current one:
+
+* **NEW** — present now, absent then (88% at paper scale: domain growth
+  plus dual-stack adoption),
+* **UNCHANGED** — present in both with the same Jaccard value,
+* **CHANGED** — present in both with a different Jaccard value,
+* **GONE** — present then, absent now (not plotted by the paper but
+  reported here for completeness).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.siblings import SiblingPair, SiblingSet
+
+_JACCARD_TOLERANCE = 1e-9
+
+
+class ChangeClass(enum.Enum):
+    NEW = "new"
+    UNCHANGED = "unchanged"
+    CHANGED = "changed"
+    GONE = "gone"
+
+
+@dataclass
+class ChangeReport:
+    """Outcome of :func:`classify_changes`."""
+
+    new: list[SiblingPair] = field(default_factory=list)
+    unchanged: list[SiblingPair] = field(default_factory=list)
+    #: (old pair, current pair) for pairs whose similarity moved.
+    changed: list[tuple[SiblingPair, SiblingPair]] = field(default_factory=list)
+    gone: list[SiblingPair] = field(default_factory=list)
+
+    @property
+    def total_current(self) -> int:
+        return len(self.new) + len(self.unchanged) + len(self.changed)
+
+    def share(self, change_class: ChangeClass) -> float:
+        total = self.total_current
+        if total == 0:
+            return 0.0
+        counts = {
+            ChangeClass.NEW: len(self.new),
+            ChangeClass.UNCHANGED: len(self.unchanged),
+            ChangeClass.CHANGED: len(self.changed),
+            ChangeClass.GONE: len(self.gone),
+        }
+        return counts[change_class] / total
+
+    def changed_old_similarities(self) -> list[float]:
+        return [old.similarity for old, _ in self.changed]
+
+    def changed_current_similarities(self) -> list[float]:
+        return [current.similarity for _, current in self.changed]
+
+
+def classify_changes(old: SiblingSet, current: SiblingSet) -> ChangeReport:
+    """Classify every pair of *current* against *old* (see module doc)."""
+    report = ChangeReport()
+    for pair in current:
+        previous = old.get(pair.v4_prefix, pair.v6_prefix)
+        if previous is None:
+            report.new.append(pair)
+        elif abs(previous.similarity - pair.similarity) <= _JACCARD_TOLERANCE:
+            report.unchanged.append(pair)
+        else:
+            report.changed.append((previous, pair))
+    for pair in old:
+        if current.get(pair.v4_prefix, pair.v6_prefix) is None:
+            report.gone.append(pair)
+    return report

@@ -1,0 +1,68 @@
+"""Set-similarity metrics (Section 3.2).
+
+The paper evaluates three candidates and chooses Jaccard: the overlap
+coefficient saturates at 1 whenever one set contains the other (unsuitable
+— it finds *overlapping*, not *similar* prefixes), and Dice is more
+lenient to slight overlaps.  All three are implemented so the Figure 2
+comparison can be reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable
+
+SimilarityMetric = Callable[[int, int, int], float]
+# All metrics are expressed over (intersection, size_a, size_b) so the
+# detection pipeline can evaluate them from counters without re-touching
+# the underlying sets.
+
+
+def jaccard_from_counts(intersection: int, size_a: int, size_b: int) -> float:
+    """|A ∩ B| / |A ∪ B| from pre-computed counts (Equation 1)."""
+    union = size_a + size_b - intersection
+    if union <= 0:
+        return 0.0
+    return intersection / union
+
+
+def dice_from_counts(intersection: int, size_a: int, size_b: int) -> float:
+    """2·|A ∩ B| / (|A| + |B|) (Equation 3)."""
+    total = size_a + size_b
+    if total <= 0:
+        return 0.0
+    return 2.0 * intersection / total
+
+
+def overlap_from_counts(intersection: int, size_a: int, size_b: int) -> float:
+    """|A ∩ B| / min(|A|, |B|) (Equation 2)."""
+    smaller = min(size_a, size_b)
+    if smaller <= 0:
+        return 0.0
+    return intersection / smaller
+
+
+def jaccard(a: AbstractSet, b: AbstractSet) -> float:
+    """Jaccard similarity index of two sets."""
+    if not a and not b:
+        return 0.0
+    intersection = len(a & b)
+    return jaccard_from_counts(intersection, len(a), len(b))
+
+
+def dice(a: AbstractSet, b: AbstractSet) -> float:
+    """Dice coefficient of two sets."""
+    intersection = len(a & b)
+    return dice_from_counts(intersection, len(a), len(b))
+
+
+def overlap_coefficient(a: AbstractSet, b: AbstractSet) -> float:
+    """Overlap (Szymkiewicz–Simpson) coefficient of two sets."""
+    intersection = len(a & b)
+    return overlap_from_counts(intersection, len(a), len(b))
+
+
+METRICS_FROM_COUNTS: dict[str, SimilarityMetric] = {
+    "jaccard": jaccard_from_counts,
+    "dice": dice_from_counts,
+    "overlap": overlap_from_counts,
+}

@@ -1,0 +1,133 @@
+"""Detection quality against the recorded ground truth.
+
+The original study can only validate against vantage points (Section
+3.5); the synthetic universe records which (IPv4 block, IPv6 block) pairs
+each organization *intended* as dual-stack siblings, so this module
+measures detection quality directly:
+
+* **recall** — the share of ground-truth deployments matched by a
+  detected pair covering both of their blocks,
+* **precision proxy** — the share of detected pairs explained by some
+  ground-truth structure (a deployment, the monitoring cross product, or
+  an agility network); unexplained pairs would be spurious detections.
+
+A deployment only counts as *detectable* when at least one of its
+dual-stack domains was actually queried and resolved on the evaluation
+date — domains invisible to DNS are invisible to any DNS-based method.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.core.siblings import SiblingSet
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+from repro.nettypes.trie import PatriciaTrie
+from repro.synth.universe import Universe
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionQuality:
+    """Ground-truth evaluation outcome."""
+
+    detectable_deployments: int
+    recalled_deployments: int
+    undetectable_deployments: int
+    total_pairs: int
+    explained_pairs: int
+
+    @property
+    def recall(self) -> float:
+        if self.detectable_deployments == 0:
+            return 0.0
+        return self.recalled_deployments / self.detectable_deployments
+
+    @property
+    def precision_proxy(self) -> float:
+        if self.total_pairs == 0:
+            return 0.0
+        return self.explained_pairs / self.total_pairs
+
+
+def _pair_tries(siblings: SiblingSet) -> tuple[PatriciaTrie, PatriciaTrie]:
+    trie_v4: PatriciaTrie = PatriciaTrie(IPV4)
+    trie_v6: PatriciaTrie = PatriciaTrie(IPV6)
+    for pair in siblings:
+        keys4 = trie_v4.get(pair.v4_prefix) or set()
+        keys4.add(pair.key)
+        trie_v4.insert(pair.v4_prefix, keys4)
+        keys6 = trie_v6.get(pair.v6_prefix) or set()
+        keys6.add(pair.key)
+        trie_v6.insert(pair.v6_prefix, keys6)
+    return trie_v4, trie_v6
+
+
+def _pairs_overlapping(trie: PatriciaTrie, block: Prefix) -> set:
+    """Pair keys whose prefix overlaps *block* (covering or covered)."""
+    keys: set = set()
+    for _, found in trie.covering(block):
+        keys |= found
+    for _, found in trie.subtree_items(block):
+        keys |= found
+    return keys
+
+
+def evaluate_quality(
+    universe: Universe, siblings: SiblingSet, date: datetime.date
+) -> DetectionQuality:
+    """Score *siblings* against the universe's ground truth on *date*."""
+    snapshot = universe.snapshot_at(date)
+    visible_domains = snapshot.dual_stack_domains()
+    trie_v4, trie_v6 = _pair_tries(siblings)
+
+    visible_by_deployment: set[int] = set()
+    for spec in universe.fabric.domains.values():
+        if spec.name in visible_domains:
+            visible_by_deployment.add(spec.deployment_id)
+
+    detectable = recalled = undetectable = 0
+    explained_keys: set = set()
+    for deployment in universe.ground_truth_deployments(date):
+        has_visible_domain = deployment.deployment_id in visible_by_deployment
+        if not has_visible_domain:
+            undetectable += 1
+            continue
+        detectable += 1
+        keys_v4 = _pairs_overlapping(trie_v4, deployment.v4_block)
+        if deployment.alt_v4_block is not None:
+            keys_v4 |= _pairs_overlapping(trie_v4, deployment.alt_v4_block)
+        keys_v6 = _pairs_overlapping(trie_v6, deployment.v6_block)
+        if deployment.alt_v6_block is not None:
+            keys_v6 |= _pairs_overlapping(trie_v6, deployment.alt_v6_block)
+        matched = keys_v4 & keys_v6
+        if matched:
+            recalled += 1
+        # Any pair touching either block (or the deployment's alternate
+        # blocks) is explained by this deployment — noise-sink pairs
+        # touch only the v4 side, for example.
+        explained_keys |= keys_v4 | keys_v6
+
+    monitoring = universe.fabric.monitoring
+    if monitoring is not None:
+        for prefix, _, _ in monitoring.v4_placements:
+            explained_keys |= _pairs_overlapping(trie_v4, prefix)
+        for prefix, _, _ in monitoring.v6_placements:
+            explained_keys |= _pairs_overlapping(trie_v6, prefix)
+    for network in universe.fabric.agility_networks.values():
+        for prefix in network.v4_prefixes:
+            explained_keys |= _pairs_overlapping(trie_v4, prefix)
+        for prefix in network.v6_prefixes:
+            explained_keys |= _pairs_overlapping(trie_v6, prefix)
+    for sink in universe.fabric.noise_sinks:
+        explained_keys |= _pairs_overlapping(trie_v6, sink)
+
+    all_keys = {pair.key for pair in siblings}
+    return DetectionQuality(
+        detectable_deployments=detectable,
+        recalled_deployments=recalled,
+        undetectable_deployments=undetectable,
+        total_pairs=len(siblings),
+        explained_pairs=len(explained_keys & all_keys),
+    )

@@ -1,0 +1,69 @@
+"""SP-Tuner threshold sensitivity sweep (Figures 4 and 19).
+
+For every (IPv4 threshold, IPv6 threshold) combination, re-run SP-Tuner-MS
+over the detected sibling pairs and record the mean and standard deviation
+of the tuned Jaccard values — the two numbers in each heatmap cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.domainsets import PrefixDomainIndex
+from repro.core.siblings import SiblingSet
+from repro.core.sptuner import SpTunerMS, TunerConfig
+
+#: The axes of the paper's Figure 4 (the truncated heatmap).
+FIG4_V4_THRESHOLDS = (16, 18, 20, 22, 24, 26, 28)
+FIG4_V6_THRESHOLDS = (32, 40, 48, 56, 64, 80, 96)
+
+#: The full Figure 19 axes.
+FIG19_V4_THRESHOLDS = tuple(range(16, 32))
+FIG19_V6_THRESHOLDS = tuple(range(32, 125, 4))
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityCell:
+    """One heatmap cell: thresholds → tuned-Jaccard mean/std."""
+
+    v4_threshold: int
+    v6_threshold: int
+    mean: float
+    std: float
+    pair_count: int
+
+
+def sweep_thresholds(
+    siblings: SiblingSet,
+    index: PrefixDomainIndex,
+    v4_thresholds: tuple[int, ...] = FIG4_V4_THRESHOLDS,
+    v6_thresholds: tuple[int, ...] = FIG4_V6_THRESHOLDS,
+) -> list[SensitivityCell]:
+    """Evaluate the full threshold grid; cells in row-major (v6, v4) order."""
+    cells: list[SensitivityCell] = []
+    for v6_threshold in v6_thresholds:
+        for v4_threshold in v4_thresholds:
+            tuner = SpTunerMS(
+                index,
+                TunerConfig(v4_threshold=v4_threshold, v6_threshold=v6_threshold),
+            )
+            tuned = tuner.tune_all(siblings)
+            cells.append(
+                SensitivityCell(
+                    v4_threshold=v4_threshold,
+                    v6_threshold=v6_threshold,
+                    mean=tuned.mean_similarity,
+                    std=tuned.std_similarity,
+                    pair_count=len(tuned),
+                )
+            )
+    return cells
+
+
+def cell_at(
+    cells: list[SensitivityCell], v4_threshold: int, v6_threshold: int
+) -> SensitivityCell:
+    for cell in cells:
+        if (cell.v4_threshold, cell.v6_threshold) == (v4_threshold, v6_threshold):
+            return cell
+    raise KeyError((v4_threshold, v6_threshold))

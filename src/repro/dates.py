@@ -1,0 +1,68 @@
+"""Measurement calendar helpers.
+
+The paper samples OpenINTEL "on every second Wednesday of each month from
+September 2020 to September 2024, resulting in 49 snapshots" and RPKI
+monthly over the same window.  These helpers generate that calendar.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterator
+
+#: The paper's observation window.
+STUDY_START = (2020, 9)
+STUDY_END = (2024, 9)
+
+#: The paper's reference snapshot ("day 0"), September 11, 2024 — which is
+#: indeed the second Wednesday of that month.
+REFERENCE_DATE = datetime.date(2024, 9, 11)
+
+
+def second_wednesday(year: int, month: int) -> datetime.date:
+    """The second Wednesday of the given month."""
+    first = datetime.date(year, month, 1)
+    # weekday(): Monday=0 ... Wednesday=2.
+    offset = (2 - first.weekday()) % 7
+    return first + datetime.timedelta(days=offset + 7)
+
+
+def month_range(
+    start: tuple[int, int] = STUDY_START, end: tuple[int, int] = STUDY_END
+) -> Iterator[tuple[int, int]]:
+    """Iterate (year, month) pairs inclusive of both endpoints."""
+    year, month = start
+    while (year, month) <= end:
+        yield year, month
+        month += 1
+        if month > 12:
+            year, month = year + 1, 1
+
+
+def snapshot_dates(
+    start: tuple[int, int] = STUDY_START, end: tuple[int, int] = STUDY_END
+) -> list[datetime.date]:
+    """All second-Wednesday snapshot dates in the study window."""
+    return [second_wednesday(y, m) for y, m in month_range(start, end)]
+
+
+def months_between(earlier: datetime.date, later: datetime.date) -> int:
+    """Whole calendar months from *earlier* to *later*."""
+    return (later.year - earlier.year) * 12 + (later.month - earlier.month)
+
+
+def add_months(date: datetime.date, months: int) -> datetime.date:
+    """Shift *date* by *months*, clamping the day to the month's end."""
+    month_index = date.year * 12 + (date.month - 1) + months
+    year, month = divmod(month_index, 12)
+    month += 1
+    day = min(date.day, _days_in_month(year, month))
+    return datetime.date(year, month, day)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        nxt = datetime.date(year + 1, 1, 1)
+    else:
+        nxt = datetime.date(year, month + 1, 1)
+    return (nxt - datetime.timedelta(days=1)).day

@@ -1,0 +1,63 @@
+"""Stable, salt-free pseudo-randomness.
+
+Python's built-in ``hash`` is salted per process for strings, so anything
+that must be reproducible across runs (address churn schedules, snapshot
+sampling, annotation gaps) goes through these helpers instead.  They are
+keyed hashes over the repr of their arguments via BLAKE2b — deterministic,
+well mixed, and cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Sequence
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic 64-bit hash of the argument tuple."""
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x1f")  # field separator so ("ab","c") != ("a","bc")
+    return struct.unpack("<Q", h.digest())[0]
+
+
+def stable_uniform(*parts: object) -> float:
+    """A deterministic float in [0, 1) derived from the arguments."""
+    return stable_hash(*parts) / 2**64
+
+
+def stable_choice(options: Sequence, *parts: object):
+    """Pick one of *options* deterministically from the key parts."""
+    if not options:
+        raise ValueError("cannot choose from an empty sequence")
+    return options[stable_hash(*parts) % len(options)]
+
+
+def stable_weighted_choice(
+    options: Sequence, weights: Sequence[float], *parts: object
+):
+    """Weighted deterministic choice."""
+    if len(options) != len(weights) or not options:
+        raise ValueError("options and weights must be equal-length and non-empty")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    point = stable_uniform(*parts) * total
+    cumulative = 0.0
+    for option, weight in zip(options, weights):
+        cumulative += weight
+        if point < cumulative:
+            return option
+    return options[-1]
+
+
+def stable_sample_count(n: int, fraction: float, *parts: object) -> int:
+    """Deterministic rounding of ``n * fraction`` (stochastic rounding
+    keyed on the arguments, so expectation is exact)."""
+    exact = n * fraction
+    base = int(exact)
+    if stable_uniform(*parts, "frac") < exact - base:
+        base += 1
+    return min(base, n)

@@ -1,0 +1,31 @@
+"""The OpenINTEL-equivalent DNS substrate.
+
+The paper's detection methodology consumes large-scale DNS resolution
+snapshots (OpenINTEL, Section 2.1).  This package provides the same
+apparatus from scratch: resource records (:mod:`repro.dns.records`),
+authoritative zone data (:mod:`repro.dns.zone`), a CNAME-chain-following
+resolver (:mod:`repro.dns.resolver`), toplist composition over time
+(:mod:`repro.dns.toplists`) and monthly measurement snapshots
+(:mod:`repro.dns.openintel`).
+"""
+
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.resolver import ResolutionStatus, Resolver, ResolutionResult
+from repro.dns.toplists import Toplist, ToplistSchedule
+from repro.dns.zone import Zone, ZoneError
+from repro.dns.openintel import DnsSnapshot, DomainObservation, SnapshotSeries
+
+__all__ = [
+    "DnsSnapshot",
+    "DomainObservation",
+    "RRType",
+    "ResolutionResult",
+    "ResolutionStatus",
+    "Resolver",
+    "ResourceRecord",
+    "SnapshotSeries",
+    "Toplist",
+    "ToplistSchedule",
+    "Zone",
+    "ZoneError",
+]

@@ -1,0 +1,192 @@
+"""Measurement snapshots — the OpenINTEL data model.
+
+A :class:`DnsSnapshot` is what one monthly OpenINTEL run produces: for
+every domain *response name*, the set of IPv4 and IPv6 addresses it
+resolved to on that date.  :meth:`DnsSnapshot.measure` performs the run
+against authoritative zone data with the CNAME-chasing resolver, grouping
+by the final name exactly as the paper does (Section 3).
+
+A :class:`SnapshotSeries` is the longitudinal collection (the paper's 49
+monthly snapshots plus the finer-grained day/week offsets used in
+Section 4).
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.dns.resolver import Resolver
+from repro.dns.zone import Zone
+
+
+@dataclass(frozen=True, slots=True)
+class DomainObservation:
+    """One domain's resolution outcome in one snapshot."""
+
+    domain: str
+    v4_addresses: tuple[int, ...]
+    v6_addresses: tuple[int, ...]
+
+    @property
+    def is_dual_stack(self) -> bool:
+        return bool(self.v4_addresses) and bool(self.v6_addresses)
+
+    @property
+    def has_any_address(self) -> bool:
+        return bool(self.v4_addresses) or bool(self.v6_addresses)
+
+
+class DnsSnapshot:
+    """All domain observations for one measurement date."""
+
+    def __init__(
+        self, date: datetime.date, observations: Iterable[DomainObservation] = ()
+    ):
+        self.date = date
+        self._observations: dict[str, DomainObservation] = {}
+        for observation in observations:
+            self._add(observation)
+
+    def _add(self, observation: DomainObservation) -> None:
+        existing = self._observations.get(observation.domain)
+        if existing is None:
+            self._observations[observation.domain] = observation
+        else:
+            # Two queried names CNAME-converged on the same response name:
+            # merge their address sets.
+            self._observations[observation.domain] = DomainObservation(
+                observation.domain,
+                tuple(sorted(set(existing.v4_addresses) | set(observation.v4_addresses))),
+                tuple(sorted(set(existing.v6_addresses) | set(observation.v6_addresses))),
+            )
+
+    @classmethod
+    def measure(
+        cls, zone: Zone, queried_domains: Iterable[str], date: datetime.date
+    ) -> "DnsSnapshot":
+        """Run the measurement: resolve every queried domain over both
+        families and group results by response (final) name."""
+        resolver = Resolver(zone)
+        snapshot = cls(date)
+        for queried in queried_domains:
+            result_a, result_aaaa = resolver.resolve_dual_stack(queried)
+            final = result_a.final_name or result_aaaa.final_name
+            if final is None:
+                continue
+            snapshot._add(
+                DomainObservation(
+                    final,
+                    result_a.addresses if result_a.ok else (),
+                    result_aaaa.addresses if result_aaaa.ok else (),
+                )
+            )
+        return snapshot
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, domain: str) -> DomainObservation | None:
+        return self._observations.get(domain)
+
+    def observations(self) -> Iterator[DomainObservation]:
+        yield from self._observations.values()
+
+    def domains(self) -> Iterator[str]:
+        yield from self._observations
+
+    def dual_stack_observations(self) -> Iterator[DomainObservation]:
+        for observation in self._observations.values():
+            if observation.is_dual_stack:
+                yield observation
+
+    def dual_stack_domains(self) -> set[str]:
+        return {o.domain for o in self.dual_stack_observations()}
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def domain_count(self) -> int:
+        return len(self._observations)
+
+    @property
+    def dual_stack_count(self) -> int:
+        return sum(1 for _ in self.dual_stack_observations())
+
+    @property
+    def dual_stack_share(self) -> float:
+        if not self._observations:
+            return 0.0
+        return self.dual_stack_count / self.domain_count
+
+    def unique_addresses(self) -> tuple[set[int], set[int]]:
+        """(unique IPv4 addresses, unique IPv6 addresses) across domains."""
+        v4: set[int] = set()
+        v6: set[int] = set()
+        for observation in self._observations.values():
+            v4.update(observation.v4_addresses)
+            v6.update(observation.v6_addresses)
+        return v4, v6
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __contains__(self, domain: object) -> bool:
+        return isinstance(domain, str) and domain in self._observations
+
+    def __repr__(self) -> str:
+        return (
+            f"DnsSnapshot({self.date.isoformat()}, domains={self.domain_count}, "
+            f"dual_stack={self.dual_stack_count})"
+        )
+
+
+class SnapshotSeries:
+    """A date-ordered collection of snapshots."""
+
+    def __init__(self, snapshots: Iterable[DnsSnapshot] = ()):
+        self._by_date: dict[datetime.date, DnsSnapshot] = {}
+        self._dates: list[datetime.date] = []
+        for snapshot in snapshots:
+            self.add(snapshot)
+
+    def add(self, snapshot: DnsSnapshot) -> None:
+        if snapshot.date in self._by_date:
+            raise ValueError(f"duplicate snapshot for {snapshot.date}")
+        self._by_date[snapshot.date] = snapshot
+        bisect.insort(self._dates, snapshot.date)
+
+    def dates(self) -> list[datetime.date]:
+        return list(self._dates)
+
+    def at(self, date: datetime.date) -> DnsSnapshot:
+        return self._by_date[date]
+
+    def nearest(self, date: datetime.date) -> DnsSnapshot:
+        """The snapshot closest in time to *date* (ties go earlier)."""
+        if not self._dates:
+            raise LookupError("empty snapshot series")
+        index = bisect.bisect_left(self._dates, date)
+        candidates = []
+        if index > 0:
+            candidates.append(self._dates[index - 1])
+        if index < len(self._dates):
+            candidates.append(self._dates[index])
+        best = min(candidates, key=lambda d: abs((d - date).days))
+        return self._by_date[best]
+
+    def latest(self) -> DnsSnapshot:
+        if not self._dates:
+            raise LookupError("empty snapshot series")
+        return self._by_date[self._dates[-1]]
+
+    def __iter__(self) -> Iterator[DnsSnapshot]:
+        for date in self._dates:
+            yield self._by_date[date]
+
+    def __len__(self) -> int:
+        return len(self._dates)
+
+    def __contains__(self, date: object) -> bool:
+        return date in self._by_date

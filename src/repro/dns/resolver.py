@@ -1,0 +1,142 @@
+"""A recursive resolver over :class:`~repro.dns.zone.Zone` data.
+
+The essential behaviour the paper relies on (Section 3, Step 1): follow
+CNAME chains to the end, and report the *final* owner name — "we use the
+domain name provided in the DNS response instead of the queried domain".
+Chain loops and over-long chains resolve to an error status, mirroring
+resolver behaviour in the wild.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dns.records import RRType, normalize_name
+from repro.dns.zone import Zone
+
+#: Resolvers in the wild cap CNAME indirection; BIND uses 16.
+MAX_CHAIN_LENGTH = 16
+
+
+class ResolutionStatus(enum.Enum):
+    OK = "ok"
+    NXDOMAIN = "nxdomain"
+    NO_DATA = "nodata"
+    CHAIN_LOOP = "chain_loop"
+    CHAIN_TOO_LONG = "chain_too_long"
+
+
+@dataclass(frozen=True, slots=True)
+class ResolutionResult:
+    """Outcome of resolving one (name, rrtype) query.
+
+    ``final_name`` is the owner of the terminal record set after CNAME
+    chasing — the name the sibling pipeline groups by.
+    """
+
+    query_name: str
+    rrtype: RRType
+    status: ResolutionStatus
+    final_name: str | None = None
+    addresses: tuple[int, ...] = ()
+    chain: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResolutionStatus.OK
+
+
+class Resolver:
+    """Resolve names against a zone, following CNAME chains."""
+
+    def __init__(self, zone: Zone):
+        self._zone = zone
+
+    def resolve(self, name: str, rrtype: RRType) -> ResolutionResult:
+        if not rrtype.is_address:
+            raise ValueError("resolver answers only A/AAAA queries")
+        query_name = normalize_name(name)
+        current = query_name
+        chain: list[str] = [current]
+        seen = {current}
+
+        while True:
+            records = self._zone.records(current)
+            if not records:
+                return ResolutionResult(
+                    query_name, rrtype, ResolutionStatus.NXDOMAIN, chain=tuple(chain)
+                )
+            cnames = [r for r in records if r.rrtype is RRType.CNAME]
+            if cnames:
+                target = cnames[0].target
+                assert target is not None
+                if target in seen:
+                    return ResolutionResult(
+                        query_name,
+                        rrtype,
+                        ResolutionStatus.CHAIN_LOOP,
+                        chain=tuple(chain),
+                    )
+                if len(chain) >= MAX_CHAIN_LENGTH:
+                    return ResolutionResult(
+                        query_name,
+                        rrtype,
+                        ResolutionStatus.CHAIN_TOO_LONG,
+                        chain=tuple(chain),
+                    )
+                seen.add(target)
+                chain.append(target)
+                current = target
+                continue
+            addresses = tuple(
+                sorted(r.address for r in records if r.rrtype is rrtype)
+            )  # type: ignore[type-var]
+            if not addresses:
+                return ResolutionResult(
+                    query_name,
+                    rrtype,
+                    ResolutionStatus.NO_DATA,
+                    final_name=current,
+                    chain=tuple(chain),
+                )
+            return ResolutionResult(
+                query_name,
+                rrtype,
+                ResolutionStatus.OK,
+                final_name=current,
+                addresses=addresses,
+                chain=tuple(chain),
+            )
+
+    def resolve_dual_stack(
+        self, name: str
+    ) -> tuple[ResolutionResult, ResolutionResult]:
+        """Resolve both families, as the measurement pipeline does."""
+        return self.resolve(name, RRType.A), self.resolve(name, RRType.AAAA)
+
+    def resolve_mx(self, name: str) -> list[str]:
+        """Exchange hosts for *name* (CNAME-chased), preference order.
+
+        Used by the alternative-input pipeline of Section 6 ("we can
+        identify sibling prefixes using other services, such as DNS MX
+        records").
+        """
+        current = normalize_name(name)
+        seen = {current}
+        for _ in range(MAX_CHAIN_LENGTH):
+            records = self._zone.records(current)
+            cnames = [r for r in records if r.rrtype is RRType.CNAME]
+            if not cnames:
+                exchanges = sorted(
+                    (r for r in records if r.rrtype is RRType.MX),
+                    key=lambda r: (r.preference, r.target),
+                )
+                return [r.target for r in exchanges if r.target is not None]
+            target = cnames[0].target
+            assert target is not None
+            if target in seen:
+                return []
+            seen.add(target)
+            current = target
+        return []

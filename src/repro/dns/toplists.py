@@ -1,0 +1,90 @@
+"""Toplist composition of the DNS measurement over time.
+
+OpenINTEL's domain universe is the union of several source lists whose
+membership changed during the study (Section 2.1 / Figure 1):
+
+* Alexa top 1M — present from the start, removed May 2023;
+* Cisco Umbrella — present throughout;
+* open ccTLD zones — present throughout, with ``.fr`` (6.35M domains, the
+  largest single jump) added August 2022;
+* Tranco — added September 2022;
+* Cloudflare Radar — added October 2022.
+
+:class:`ToplistSchedule` reproduces that calendar so longitudinal analyses
+see the same dataset-composition artefacts the paper discusses.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+
+class Toplist(enum.Enum):
+    ALEXA = "Alexa top 1M"
+    UMBRELLA = "Cisco Umbrella"
+    TRANCO = "Tranco"
+    CLOUDFLARE_RADAR = "Cloudflare Radar"
+    OPEN_CCTLDS = "Open ccTLDs"
+
+
+@dataclass(frozen=True, slots=True)
+class ToplistWindow:
+    """The interval during which a source list feeds the measurement."""
+
+    toplist: Toplist
+    added: datetime.date | None = None    # None: before the study window
+    removed: datetime.date | None = None  # None: still present
+
+    def active_on(self, date: datetime.date) -> bool:
+        if self.added is not None and date < self.added:
+            return False
+        if self.removed is not None and date >= self.removed:
+            return False
+        return True
+
+
+#: The paper's dataset events (Sections 2.1 and 4.3).
+PAPER_WINDOWS: tuple[ToplistWindow, ...] = (
+    ToplistWindow(Toplist.ALEXA, removed=datetime.date(2023, 5, 1)),
+    ToplistWindow(Toplist.UMBRELLA),
+    ToplistWindow(Toplist.TRANCO, added=datetime.date(2022, 9, 1)),
+    ToplistWindow(Toplist.CLOUDFLARE_RADAR, added=datetime.date(2022, 10, 1)),
+    ToplistWindow(Toplist.OPEN_CCTLDS),
+)
+
+#: The ``.fr`` ccTLD joined the open-ccTLD set in August 2022.
+FR_CCTLD_ADDED = datetime.date(2022, 8, 1)
+
+
+class ToplistSchedule:
+    """Answers "which source lists are active on this date?".
+
+    The default schedule is the paper's; tests construct custom ones.
+    """
+
+    def __init__(self, windows: tuple[ToplistWindow, ...] = PAPER_WINDOWS):
+        self._windows = windows
+
+    def active(self, date: datetime.date) -> frozenset[Toplist]:
+        return frozenset(
+            w.toplist for w in self._windows if w.active_on(date)
+        )
+
+    def window_for(self, toplist: Toplist) -> ToplistWindow:
+        for window in self._windows:
+            if window.toplist is toplist:
+                return window
+        raise KeyError(toplist)
+
+    def events(self) -> list[tuple[datetime.date, str]]:
+        """Chronological (date, description) list of composition changes."""
+        events = []
+        for window in self._windows:
+            if window.added is not None:
+                events.append((window.added, f"{window.toplist.value} added"))
+            if window.removed is not None:
+                events.append((window.removed, f"{window.toplist.value} removed"))
+        events.append((FR_CCTLD_ADDED, ".fr ccTLD added to open ccTLDs"))
+        return sorted(events)

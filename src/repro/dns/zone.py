@@ -1,0 +1,88 @@
+"""Authoritative zone data.
+
+A :class:`Zone` is the ground-truth name → records mapping the synthetic
+universe publishes and the resolver queries.  It enforces the single
+CNAME-per-owner rule (a CNAME may not coexist with address records at the
+same owner, RFC 1034 §3.6.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.dns.records import ResourceRecord, RRType, normalize_name
+
+
+class ZoneError(ValueError):
+    """Raised when zone data would violate DNS data rules."""
+
+
+class Zone:
+    """A flat authoritative record store for the whole synthetic Internet.
+
+    >>> zone = Zone()
+    >>> zone.add(ResourceRecord.cname("www.example.com", "cdn.example.net"))
+    >>> zone.add(ResourceRecord.a("cdn.example.net", 0x01020304))
+    >>> [r.rrtype.name for r in zone.records("www.example.com")]
+    ['CNAME']
+    """
+
+    def __init__(self, records: Iterable[ResourceRecord] = ()):
+        self._by_name: dict[str, list[ResourceRecord]] = defaultdict(list)
+        for record in records:
+            self.add(record)
+
+    def add(self, record: ResourceRecord) -> None:
+        existing = self._by_name[record.name]
+        if record.rrtype is RRType.CNAME:
+            if existing:
+                raise ZoneError(
+                    f"CNAME at {record.name!r} conflicts with existing records"
+                )
+        elif any(r.rrtype is RRType.CNAME for r in existing):
+            raise ZoneError(
+                f"{record.rrtype.name} at {record.name!r} conflicts with CNAME"
+            )
+        if record not in existing:
+            existing.append(record)
+
+    def remove_name(self, name: str) -> None:
+        """Drop all records at *name* (used by churn simulation)."""
+        self._by_name.pop(normalize_name(name), None)
+
+    def replace_addresses(
+        self, name: str, rrtype: RRType, addresses: Iterable[int]
+    ) -> None:
+        """Replace all *rrtype* records at *name* with fresh ones."""
+        if not rrtype.is_address:
+            raise ZoneError("replace_addresses only handles A/AAAA")
+        name = normalize_name(name)
+        kept = [r for r in self._by_name.get(name, []) if r.rrtype is not rrtype]
+        for address in addresses:
+            kept.append(ResourceRecord(name, rrtype, address=address))
+        if kept:
+            self._by_name[name] = kept
+        else:
+            self._by_name.pop(name, None)
+
+    def records(self, name: str, rrtype: RRType | None = None) -> list[ResourceRecord]:
+        found = self._by_name.get(normalize_name(name), [])
+        if rrtype is None:
+            return list(found)
+        return [r for r in found if r.rrtype is rrtype]
+
+    def names(self) -> Iterator[str]:
+        yield from self._by_name
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and normalize_name(name) in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def record_count(self) -> int:
+        return sum(len(records) for records in self._by_name.values())
+
+    def __repr__(self) -> str:
+        return f"Zone(names={len(self)}, records={self.record_count()})"

@@ -1,0 +1,44 @@
+"""Low-level IP address and prefix machinery.
+
+This package is the foundation everything else builds on: integer-based
+IPv4/IPv6 address handling (:mod:`repro.nettypes.addr`), an immutable
+:class:`~repro.nettypes.prefix.Prefix` type, a compressed binary patricia
+trie (:class:`~repro.nettypes.trie.PatriciaTrie`, the PyTricia replacement
+the paper's SP-Tuner algorithm relies on), and a longest-prefix-match
+:class:`~repro.nettypes.sets.PrefixSet`.
+
+Addresses are plain ``int`` values paired with an IP version; prefixes are
+``(version, value, length)`` triples.  Parsing and formatting stay out of
+hot paths by design.
+"""
+
+from repro.nettypes.addr import (
+    IPV4,
+    IPV6,
+    MAX_LENGTH,
+    AddressError,
+    format_address,
+    is_reserved,
+    parse_address,
+    parse_ipv4,
+    parse_ipv6,
+)
+from repro.nettypes.prefix import Prefix, PrefixError
+from repro.nettypes.sets import PrefixSet
+from repro.nettypes.trie import PatriciaTrie
+
+__all__ = [
+    "IPV4",
+    "IPV6",
+    "MAX_LENGTH",
+    "AddressError",
+    "Prefix",
+    "PrefixError",
+    "PrefixSet",
+    "PatriciaTrie",
+    "format_address",
+    "is_reserved",
+    "parse_address",
+    "parse_ipv4",
+    "parse_ipv6",
+]

@@ -1,0 +1,116 @@
+"""Prefix sets with longest-prefix-match membership.
+
+A :class:`PrefixSet` holds IPv4 and/or IPv6 prefixes and answers "is this
+address / prefix covered?" queries.  It also offers minimisation (drop
+covered prefixes, merge adjacent binary siblings) which the blocklist
+example and the RIPE-Atlas coverage analysis use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+from repro.nettypes.trie import PatriciaTrie
+
+
+class PrefixSet:
+    """A mutable set of prefixes supporting coverage queries.
+
+    >>> s = PrefixSet([Prefix.parse("192.0.2.0/24")])
+    >>> s.covers(Prefix.parse("192.0.2.64/26"))
+    True
+    >>> Prefix.parse("192.0.2.0/24") in s
+    True
+    """
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()):
+        self._tries: dict[int, PatriciaTrie] = {
+            IPV4: PatriciaTrie(IPV4),
+            IPV6: PatriciaTrie(IPV6),
+        }
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def add(self, prefix: Prefix) -> None:
+        self._tries[prefix.version].insert(prefix, True)
+
+    def discard(self, prefix: Prefix) -> None:
+        try:
+            self._tries[prefix.version].remove(prefix)
+        except KeyError:
+            pass
+
+    def update(self, prefixes: Iterable[Prefix]) -> None:
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def covers(self, item: Prefix) -> bool:
+        """True if some member prefix contains *item*."""
+        return self._tries[item.version].lookup(item) is not None
+
+    def covers_address(self, version: int, value: int) -> bool:
+        return self._tries[version].lookup_address(value) is not None
+
+    def covering_prefix(self, item: Prefix) -> Prefix | None:
+        """The most specific member containing *item*, if any."""
+        return self._tries[item.version].lookup_prefix(item)
+
+    def members_under(self, prefix: Prefix) -> list[Prefix]:
+        """Members at-or-below *prefix*."""
+        return [p for p, _ in self._tries[prefix.version].subtree_items(prefix)]
+
+    def minimized(self) -> "PrefixSet":
+        """A new set with covered members dropped and adjacent binary
+        siblings merged into their parent (applied to a fixpoint)."""
+        result = PrefixSet()
+        for version, trie in self._tries.items():
+            kept: set[Prefix] = set()
+            for prefix, _ in trie.items():
+                covering = trie.covering(prefix)
+                # ``covering`` always includes the prefix itself (last).
+                if len(covering) == 1:
+                    kept.add(prefix)
+            merged = _merge_siblings(kept)
+            for prefix in merged:
+                result.add(prefix)
+        return result
+
+    def __contains__(self, prefix: object) -> bool:
+        return isinstance(prefix, Prefix) and prefix in self._tries[prefix.version]
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for version in (IPV4, IPV6):
+            yield from self._tries[version]
+
+    def __len__(self) -> int:
+        return sum(len(trie) for trie in self._tries.values())
+
+    def __repr__(self) -> str:
+        v4 = len(self._tries[IPV4])
+        v6 = len(self._tries[IPV6])
+        return f"PrefixSet(v4={v4}, v6={v6})"
+
+
+def _merge_siblings(prefixes: set[Prefix]) -> set[Prefix]:
+    """Merge binary-sibling pairs into parents until a fixpoint."""
+    current = set(prefixes)
+    changed = True
+    while changed:
+        changed = False
+        for prefix in sorted(current, key=lambda p: -p.length):
+            if prefix.length == 0 or prefix not in current:
+                continue
+            sibling = prefix.sibling_subnet()
+            if sibling in current:
+                current.discard(prefix)
+                current.discard(sibling)
+                current.add(prefix.supernet())
+                changed = True
+    return current
+
+
+def aggregate(prefixes: Iterable[Prefix]) -> list[Prefix]:
+    """Convenience: minimise an iterable of prefixes into a sorted list."""
+    return sorted(PrefixSet(prefixes).minimized())

@@ -1,0 +1,27 @@
+"""Organization-level datasets.
+
+Reimplementations of the three org datasets the paper consumes:
+AS-to-organization mapping with sibling-AS merging (:mod:`repro.orgs.as2org`,
+standing in for CAIDA's dataset and Chen et al.), the ASdb business-type
+classification (:mod:`repro.orgs.asdb`), and the hypergiant/CDN registries
+(:mod:`repro.orgs.hypergiants`).
+"""
+
+from repro.orgs.as2org import As2Org, As2OrgArchive
+from repro.orgs.asdb import BUSINESS_CATEGORIES, AsdbDataset, BusinessCategory
+from repro.orgs.hypergiants import (
+    HGCDN_ORGS,
+    HgCdnClass,
+    HgCdnRegistry,
+)
+
+__all__ = [
+    "As2Org",
+    "As2OrgArchive",
+    "AsdbDataset",
+    "BUSINESS_CATEGORIES",
+    "BusinessCategory",
+    "HGCDN_ORGS",
+    "HgCdnClass",
+    "HgCdnRegistry",
+]

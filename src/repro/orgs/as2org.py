@@ -1,0 +1,101 @@
+"""AS-to-organization mapping with sibling-AS support.
+
+The paper classifies a sibling prefix pair as "same organization" when the
+IPv4 and IPv6 origin ASes either share an AS number or are registered to
+the same organization name (Section 4.5).  Two dataset generations are in
+play: CAIDA's as2org before October 2022 and the Chen et al. sibling-AS
+dataset afterwards; :class:`As2OrgArchive` switches between dated mappings
+the same way.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+from typing import Iterable, Iterator
+
+#: The paper's dataset switch point (Section 2.3).
+CHEN_DATASET_EPOCH = datetime.date(2022, 10, 1)
+
+
+class As2Org:
+    """One generation of the ASN → organization mapping."""
+
+    def __init__(self, entries: Iterable[tuple[int, str]] = ()):
+        self._org_by_asn: dict[int, str] = {}
+        self._asns_by_org: dict[str, set[int]] = {}
+        for asn, org in entries:
+            self.assign(asn, org)
+
+    def assign(self, asn: int, org: str) -> None:
+        if asn < 0 or asn >= 2**32:
+            raise ValueError(f"invalid AS number: {asn}")
+        previous = self._org_by_asn.get(asn)
+        if previous is not None:
+            self._asns_by_org[previous].discard(asn)
+            if not self._asns_by_org[previous]:
+                del self._asns_by_org[previous]
+        self._org_by_asn[asn] = org
+        self._asns_by_org.setdefault(org, set()).add(asn)
+
+    def org_of(self, asn: int) -> str | None:
+        return self._org_by_asn.get(asn)
+
+    def asns_of(self, org: str) -> frozenset[int]:
+        return frozenset(self._asns_by_org.get(org, ()))
+
+    def siblings_of(self, asn: int) -> frozenset[int]:
+        """All ASes registered to the same organization (including *asn*)."""
+        org = self._org_by_asn.get(asn)
+        if org is None:
+            return frozenset({asn})
+        return frozenset(self._asns_by_org[org])
+
+    def same_org(self, asn_a: int, asn_b: int) -> bool:
+        """The paper's same-organization test: equal ASN, or both mapped
+        to one organization name."""
+        if asn_a == asn_b:
+            return True
+        org_a = self._org_by_asn.get(asn_a)
+        org_b = self._org_by_asn.get(asn_b)
+        return org_a is not None and org_a == org_b
+
+    def organizations(self) -> Iterator[str]:
+        yield from self._asns_by_org
+
+    def __len__(self) -> int:
+        return len(self._org_by_asn)
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._org_by_asn
+
+
+class As2OrgArchive:
+    """Dated as2org generations with latest-at-or-before lookup.
+
+    Mirrors the paper's use of CAIDA data before 2022-10 and the Chen et
+    al. dataset afterwards: callers just ask for the mapping in effect on
+    a date.
+    """
+
+    def __init__(self):
+        self._dates: list[datetime.date] = []
+        self._mappings: dict[datetime.date, As2Org] = {}
+
+    def add(self, date: datetime.date, mapping: As2Org) -> None:
+        if date in self._mappings:
+            raise ValueError(f"duplicate as2org generation for {date}")
+        self._mappings[date] = mapping
+        bisect.insort(self._dates, date)
+
+    def at(self, date: datetime.date) -> As2Org:
+        index = bisect.bisect_right(self._dates, date)
+        if index == 0:
+            raise LookupError(f"no as2org data at or before {date}")
+        return self._mappings[self._dates[index - 1]]
+
+    def dates(self) -> list[datetime.date]:
+        return list(self._dates)
+
+    def __len__(self) -> int:
+        return len(self._dates)

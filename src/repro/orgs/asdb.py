@@ -1,0 +1,81 @@
+"""The ASdb business-type dataset (Ziv et al., IMC 2021).
+
+ASdb classifies autonomous systems into one or more of 17 business
+categories.  The paper (Section 4.6) keeps only origin ASes that map to a
+*single* category (~80% of prefixes) and builds the IPv4-business ×
+IPv6-business heatmap from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+
+class BusinessCategory(enum.Enum):
+    """The 17 ASdb layer-1 business categories."""
+
+    AGRICULTURE = "Agriculture"
+    EDUCATION = "Education"
+    ENTERTAINMENT = "Entertainment"
+    FINANCE = "Finance"
+    GOVERNMENT = "Government"
+    HEALTH = "Health"
+    IT = "IT"
+    MANUFACTURING = "Manufacturing"
+    MEDIA = "Media"
+    NONPROFITS = "Nonprofits"
+    OTHER = "Other"
+    REAL_ESTATE = "Real Estate"
+    RETAIL = "Retail"
+    SERVICE = "Service"
+    SHIPMENT = "Shipment"
+    TRAVEL = "Travel"
+    UTILITIES = "Utilities"
+
+
+BUSINESS_CATEGORIES: tuple[BusinessCategory, ...] = tuple(BusinessCategory)
+
+
+class AsdbDataset:
+    """ASN → set of business categories."""
+
+    def __init__(
+        self, entries: Iterable[tuple[int, Iterable[BusinessCategory]]] = ()
+    ):
+        self._categories: dict[int, frozenset[BusinessCategory]] = {}
+        for asn, categories in entries:
+            self.classify(asn, categories)
+
+    def classify(self, asn: int, categories: Iterable[BusinessCategory]) -> None:
+        category_set = frozenset(categories)
+        if not category_set:
+            raise ValueError(f"AS{asn}: at least one category required")
+        self._categories[asn] = category_set
+
+    def categories_of(self, asn: int) -> frozenset[BusinessCategory]:
+        return self._categories.get(asn, frozenset())
+
+    def single_category_of(self, asn: int) -> BusinessCategory | None:
+        """The category when the AS maps to exactly one, else None —
+        the paper's single-type filter."""
+        categories = self._categories.get(asn)
+        if categories is not None and len(categories) == 1:
+            return next(iter(categories))
+        return None
+
+    def asns(self) -> Iterator[int]:
+        yield from self._categories
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._categories
+
+    def single_category_share(self) -> float:
+        """Fraction of classified ASes with exactly one category."""
+        if not self._categories:
+            return 0.0
+        singles = sum(1 for c in self._categories.values() if len(c) == 1)
+        return singles / len(self._categories)

@@ -1,0 +1,106 @@
+"""Hypergiant and CDN organization registries.
+
+Stand-ins for the Böttger et al. hypergiant list, the Gigis et al. off-net
+list, and the CDN Planet CDN list (Section 2.4).  The 24 organizations
+named in the paper's Figure 17/23-25 are registered here together with the
+deployment-style hints the synthetic universe uses to recreate their
+characteristic Jaccard profiles (e.g. Cloudflare/Akamai's low-similarity
+addressing agility).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class HgCdnClass(enum.Enum):
+    HYPERGIANT = "hypergiant"
+    CDN = "cdn"
+    BOTH = "both"
+
+
+class DeploymentStyle(enum.Enum):
+    """How an organization maps domains onto its address space.
+
+    These drive the synthetic service generator; the paper observes the
+    resulting Jaccard distributions (Figure 17).
+    """
+
+    #: Dual-stack services aligned between one v4 and one v6 prefix.
+    ALIGNED = "aligned"
+    #: Many prefixes, domains spread across them, moderate alignment.
+    MULTI_PREFIX = "multi_prefix"
+    #: Addressing agility: domain→address bindings decoupled per family
+    #: (Cloudflare/Akamai style, yields low prefix-level Jaccard).
+    AGILITY = "agility"
+
+
+@dataclass(frozen=True, slots=True)
+class HgCdnOrg:
+    name: str
+    classification: HgCdnClass
+    style: DeploymentStyle
+    #: Relative footprint weight; scales how many sibling prefixes the
+    #: synthetic universe gives the org (Amazon ≫ Internap).
+    weight: int
+
+
+#: The 24 hypergiant/CDN organizations of Figure 25, with the styles that
+#: reproduce their observed similarity profiles and rough rank order.
+HGCDN_ORGS: tuple[HgCdnOrg, ...] = (
+    HgCdnOrg("Amazon", HgCdnClass.BOTH, DeploymentStyle.MULTI_PREFIX, 4564),
+    HgCdnOrg("Microsoft", HgCdnClass.BOTH, DeploymentStyle.MULTI_PREFIX, 1125),
+    HgCdnOrg("Akamai", HgCdnClass.BOTH, DeploymentStyle.AGILITY, 1056),
+    HgCdnOrg("Google", HgCdnClass.BOTH, DeploymentStyle.ALIGNED, 1046),
+    HgCdnOrg("Alibaba", HgCdnClass.BOTH, DeploymentStyle.MULTI_PREFIX, 403),
+    HgCdnOrg("Cloudflare", HgCdnClass.BOTH, DeploymentStyle.AGILITY, 364),
+    HgCdnOrg("Facebook", HgCdnClass.HYPERGIANT, DeploymentStyle.ALIGNED, 349),
+    HgCdnOrg("GoDaddy", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 236),
+    HgCdnOrg("Apple", HgCdnClass.HYPERGIANT, DeploymentStyle.ALIGNED, 200),
+    HgCdnOrg("Incapsula", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 172),
+    HgCdnOrg("Leaseweb", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 148),
+    HgCdnOrg("CDN77", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 105),
+    HgCdnOrg("Edgecast", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 75),
+    HgCdnOrg("Fastly", HgCdnClass.CDN, DeploymentStyle.MULTI_PREFIX, 70),
+    HgCdnOrg("Rackspace", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 56),
+    HgCdnOrg("KPN", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 47),
+    HgCdnOrg("Yahoo", HgCdnClass.HYPERGIANT, DeploymentStyle.ALIGNED, 24),
+    HgCdnOrg("Telenor", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 16),
+    HgCdnOrg("Netflix", HgCdnClass.HYPERGIANT, DeploymentStyle.ALIGNED, 14),
+    HgCdnOrg("NTT", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 11),
+    HgCdnOrg("Telstra", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 6),
+    HgCdnOrg("Lumen", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 3),
+    HgCdnOrg("Telin", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 2),
+    HgCdnOrg("Internap", HgCdnClass.CDN, DeploymentStyle.ALIGNED, 1),
+)
+
+
+class HgCdnRegistry:
+    """Membership tests over organization names."""
+
+    def __init__(self, orgs: Iterable[HgCdnOrg] = HGCDN_ORGS):
+        self._by_name = {org.name: org for org in orgs}
+
+    def get(self, name: str) -> HgCdnOrg | None:
+        return self._by_name.get(name)
+
+    def is_hgcdn(self, name: str) -> bool:
+        return name in self._by_name
+
+    def classification(self, name: str) -> HgCdnClass | None:
+        org = self._by_name.get(name)
+        return org.classification if org is not None else None
+
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def by_weight(self) -> list[HgCdnOrg]:
+        return sorted(self._by_name.values(), key=lambda o: -o.weight)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name

@@ -1,0 +1,170 @@
+"""Publishing sibling prefix lists (Section 6).
+
+The authors "plan to regularly publish a list of sibling prefixes to be
+used by network operators and fellow researchers".  This module defines
+that artifact: a versioned, line-oriented export with the fields a
+consumer needs (prefixes, similarity, domain counts, origin organization
+relation, ROV status), in CSV or JSON-lines form, plus a loader that
+round-trips it.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+import json
+from dataclasses import dataclass
+from typing import Iterable, TextIO
+
+from repro.analysis.organizations import pair_origins
+from repro.core.siblings import SiblingSet
+from repro.nettypes.prefix import Prefix
+from repro.rpki.pair_status import classify_pair
+from repro.rpki.repository import RpkiRepository
+from repro.synth.universe import Universe
+
+FORMAT_VERSION = 1
+
+FIELDS = (
+    "v4_prefix",
+    "v6_prefix",
+    "jaccard",
+    "shared_domains",
+    "v4_domains",
+    "v6_domains",
+    "same_org",
+    "rov_status",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PublishedPair:
+    """One row of the published list."""
+
+    v4_prefix: Prefix
+    v6_prefix: Prefix
+    jaccard: float
+    shared_domains: int
+    v4_domains: int
+    v6_domains: int
+    same_org: bool | None
+    rov_status: str | None
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "v4_prefix": str(self.v4_prefix),
+            "v6_prefix": str(self.v6_prefix),
+            "jaccard": round(self.jaccard, 6),
+            "shared_domains": self.shared_domains,
+            "v4_domains": self.v4_domains,
+            "v6_domains": self.v6_domains,
+            "same_org": "" if self.same_org is None else int(self.same_org),
+            "rov_status": self.rov_status or "",
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, object]) -> "PublishedPair":
+        same_org_raw = row.get("same_org", "")
+        return cls(
+            v4_prefix=Prefix.parse(str(row["v4_prefix"])),
+            v6_prefix=Prefix.parse(str(row["v6_prefix"])),
+            jaccard=float(row["jaccard"]),  # type: ignore[arg-type]
+            shared_domains=int(row["shared_domains"]),  # type: ignore[arg-type]
+            v4_domains=int(row["v4_domains"]),  # type: ignore[arg-type]
+            v6_domains=int(row["v6_domains"]),  # type: ignore[arg-type]
+            same_org=(
+                None if same_org_raw in ("", None) else bool(int(same_org_raw))  # type: ignore[arg-type]
+            ),
+            rov_status=(str(row["rov_status"]) or None),
+        )
+
+
+def enrich_pairs(
+    universe: Universe,
+    siblings: SiblingSet,
+    date: datetime.date,
+    repository: RpkiRepository | None = None,
+) -> list[PublishedPair]:
+    """Attach organization and ROV metadata to every pair."""
+    rib = universe.rib_at(date)
+    published: list[PublishedPair] = []
+    for pair in sorted(siblings, key=lambda p: (p.v4_prefix, p.v6_prefix)):
+        origins = pair_origins(universe, pair, date)
+        same_org = origins.same_org if origins.v4_asn is not None else None
+        rov_status = None
+        if repository is not None:
+            route4 = rib.route_for_prefix(pair.v4_prefix)
+            route6 = rib.route_for_prefix(pair.v6_prefix)
+            if route4 is not None and route6 is not None:
+                rov_status = classify_pair(
+                    repository.validate(route4.prefix, route4.origin, date),
+                    repository.validate(route6.prefix, route6.origin, date),
+                ).value
+        published.append(
+            PublishedPair(
+                v4_prefix=pair.v4_prefix,
+                v6_prefix=pair.v6_prefix,
+                jaccard=pair.similarity,
+                shared_domains=len(pair.shared_domains),
+                v4_domains=pair.v4_domain_count,
+                v6_domains=pair.v6_domain_count,
+                same_org=same_org,
+                rov_status=rov_status,
+            )
+        )
+    return published
+
+
+def _header_comment(date: datetime.date, count: int) -> str:
+    return (
+        f"# sibling-prefixes list v{FORMAT_VERSION} | snapshot={date.isoformat()} "
+        f"| pairs={count}"
+    )
+
+
+def write_csv(
+    pairs: Iterable[PublishedPair], stream: TextIO, date: datetime.date
+) -> int:
+    """Write the CSV form (with a commented header line); returns rows."""
+    rows = [pair.as_row() for pair in pairs]
+    stream.write(_header_comment(date, len(rows)) + "\n")
+    writer = csv.DictWriter(stream, fieldnames=list(FIELDS))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return len(rows)
+
+
+def read_csv(stream: TextIO) -> list[PublishedPair]:
+    """Load a CSV export (header comments skipped)."""
+    lines = [line for line in stream if not line.startswith("#")]
+    reader = csv.DictReader(io.StringIO("".join(lines)))
+    return [PublishedPair.from_row(row) for row in reader]
+
+
+def write_jsonl(
+    pairs: Iterable[PublishedPair], stream: TextIO, date: datetime.date
+) -> int:
+    """Write the JSON-lines form; the first record is metadata."""
+    rows = [pair.as_row() for pair in pairs]
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "snapshot": date.isoformat(),
+        "pairs": len(rows),
+    }
+    stream.write(json.dumps({"meta": meta}) + "\n")
+    for row in rows:
+        stream.write(json.dumps(row) + "\n")
+    return len(rows)
+
+
+def read_jsonl(stream: TextIO) -> tuple[dict, list[PublishedPair]]:
+    """Load a JSONL export; returns (metadata, pairs)."""
+    first = stream.readline()
+    if not first:
+        return {}, []
+    meta_record = json.loads(first)
+    meta = meta_record.get("meta", {})
+    pairs = [PublishedPair.from_row(json.loads(line)) for line in stream if line.strip()]
+    return meta, pairs

@@ -1,0 +1,20 @@
+"""Result containers and plain-text rendering for figures and tables."""
+
+from repro.reporting.containers import EcdfSeries, Heatmap, StackedArea, TimeSeries
+from repro.reporting.tables import (
+    format_ecdf_summary,
+    format_heatmap,
+    format_stacked_area,
+    format_timeseries,
+)
+
+__all__ = [
+    "EcdfSeries",
+    "Heatmap",
+    "StackedArea",
+    "TimeSeries",
+    "format_ecdf_summary",
+    "format_heatmap",
+    "format_stacked_area",
+    "format_timeseries",
+]

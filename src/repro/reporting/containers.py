@@ -1,0 +1,149 @@
+"""Figure-data containers: ECDFs, heatmaps, time series, stacked areas.
+
+Pure data + small query helpers; rendering lives in
+:mod:`repro.reporting.tables`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class EcdfSeries:
+    """One empirical CDF line (e.g. one curve of Figure 5)."""
+
+    label: str
+    values: list[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.values = sorted(self.values)
+
+    def fraction_at_most(self, threshold: float) -> float:
+        """F(threshold) = P(X <= threshold)."""
+        if not self.values:
+            return 0.0
+        return bisect.bisect_right(self.values, threshold) / len(self.values)
+
+    def fraction_below(self, threshold: float) -> float:
+        if not self.values:
+            return 0.0
+        return bisect.bisect_left(self.values, threshold) / len(self.values)
+
+    def share_equal(self, value: float) -> float:
+        """P(X == value), e.g. the perfect-match share at 1.0."""
+        return self.fraction_at_most(value) - self.fraction_below(value)
+
+    def quantile(self, q: float) -> float:
+        if not self.values:
+            raise ValueError("empty ECDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        index = min(int(q * len(self.values)), len(self.values) - 1)
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class Heatmap:
+    """A labelled 2-D matrix (rows × columns)."""
+
+    title: str
+    row_labels: list[str]
+    column_labels: list[str]
+    cells: list[list[float]]
+    #: Optional second value per cell (Figure 4 stores std below mean).
+    secondary: list[list[float]] | None = None
+
+    def __post_init__(self):
+        if len(self.cells) != len(self.row_labels):
+            raise ValueError("row count mismatch")
+        for row in self.cells:
+            if len(row) != len(self.column_labels):
+                raise ValueError("column count mismatch")
+
+    def cell(self, row_label: str, column_label: str) -> float:
+        return self.cells[self.row_labels.index(row_label)][
+            self.column_labels.index(column_label)
+        ]
+
+    def row(self, row_label: str) -> list[float]:
+        return list(self.cells[self.row_labels.index(row_label)])
+
+    def column(self, column_label: str) -> list[float]:
+        index = self.column_labels.index(column_label)
+        return [row[index] for row in self.cells]
+
+    def total(self) -> float:
+        return sum(sum(row) for row in self.cells)
+
+
+@dataclass
+class TimeSeries:
+    """One or more named series over dates (Figures 1, 9, 14, 15)."""
+
+    title: str
+    dates: list[datetime.date]
+    series: dict[str, list[float]]
+
+    def __post_init__(self):
+        for name, values in self.series.items():
+            if len(values) != len(self.dates):
+                raise ValueError(f"series {name!r} length mismatch")
+
+    def at(self, name: str, date: datetime.date) -> float:
+        return self.series[name][self.dates.index(date)]
+
+    def last(self, name: str) -> float:
+        return self.series[name][-1]
+
+    def first(self, name: str) -> float:
+        return self.series[name][0]
+
+
+@dataclass
+class StackedArea:
+    """Percentage shares per category over dates (Figure 18)."""
+
+    title: str
+    dates: list[datetime.date]
+    categories: list[str]
+    #: shares[date_index][category_index], each row summing to ~100.
+    shares: list[list[float]]
+
+    def __post_init__(self):
+        if len(self.shares) != len(self.dates):
+            raise ValueError("share rows must match dates")
+        for row in self.shares:
+            if len(row) != len(self.categories):
+                raise ValueError("share columns must match categories")
+
+    def share_at(self, category: str, date: datetime.date) -> float:
+        return self.shares[self.dates.index(date)][self.categories.index(category)]
+
+
+def ecdf(label: str, values: Iterable[float]) -> EcdfSeries:
+    """Convenience constructor."""
+    return EcdfSeries(label, list(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sequence."""
+    if not values:
+        raise ValueError("empty sequence")
+    ordered = sorted(values)
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[index]

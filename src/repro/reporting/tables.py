@@ -1,0 +1,85 @@
+"""Plain-text rendering of figure data — what the benches print."""
+
+from __future__ import annotations
+
+from repro.reporting.containers import EcdfSeries, Heatmap, StackedArea, TimeSeries
+
+
+def format_heatmap(heatmap: Heatmap, precision: int = 1) -> str:
+    """A fixed-width grid with row/column labels; secondary values (if
+    any) are printed in parentheses."""
+    width = max(
+        8,
+        max((len(label) for label in heatmap.column_labels), default=8) + 1,
+        precision + 5,
+    )
+    label_width = max(
+        (len(label) for label in heatmap.row_labels), default=8
+    )
+    lines = [heatmap.title]
+    header = " " * label_width + "".join(
+        f"{label:>{width}}" for label in heatmap.column_labels
+    )
+    lines.append(header)
+    for row_index, row_label in enumerate(heatmap.row_labels):
+        cells = []
+        for column_index in range(len(heatmap.column_labels)):
+            value = heatmap.cells[row_index][column_index]
+            if heatmap.secondary is not None:
+                second = heatmap.secondary[row_index][column_index]
+                cells.append(
+                    f"{value:.{precision}f}({second:.{precision}f})".rjust(width)
+                )
+            else:
+                cells.append(f"{value:>{width}.{precision}f}")
+        lines.append(f"{row_label:<{label_width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_ecdf_summary(
+    series: list[EcdfSeries],
+    thresholds: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.999),
+) -> str:
+    """One row per ECDF line: F(t) at the given thresholds plus the
+    perfect-match share — the numbers the paper quotes from its CDFs."""
+    lines = [
+        "label".ljust(28)
+        + "".join(f"F({t:g})".rjust(9) for t in thresholds)
+        + "  ==1.0".rjust(9)
+        + "    n".rjust(7)
+    ]
+    for entry in series:
+        row = entry.label.ljust(28)
+        for threshold in thresholds:
+            row += f"{entry.fraction_at_most(threshold):>9.3f}"
+        row += f"{entry.share_equal(1.0):>9.3f}"
+        row += f"{len(entry):>7d}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_timeseries(timeseries: TimeSeries, precision: int = 1) -> str:
+    names = list(timeseries.series)
+    width = max(12, max(len(n) for n in names) + 2) if names else 12
+    lines = [timeseries.title]
+    lines.append("date".ljust(12) + "".join(name.rjust(width) for name in names))
+    for index, date in enumerate(timeseries.dates):
+        row = date.isoformat().ljust(12)
+        for name in names:
+            row += f"{timeseries.series[name][index]:>{width}.{precision}f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_stacked_area(area: StackedArea, precision: int = 1) -> str:
+    width = max(12, max(len(c) for c in area.categories) + 2)
+    lines = [area.title]
+    lines.append(
+        "date".ljust(12) + "".join(c.rjust(width) for c in area.categories)
+    )
+    for index, date in enumerate(area.dates):
+        row = date.isoformat().ljust(12)
+        for share in area.shares[index]:
+            row += f"{share:>{width}.{precision}f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""The RPKI substrate: ROAs, route origin validation, dated repositories.
+
+Implements what the paper downloads from the five RIRs (Section 2.6): ROA
+objects (:mod:`repro.rpki.roa`), RFC 6811 route-origin validation
+(:mod:`repro.rpki.validation`), monthly repository snapshots
+(:mod:`repro.rpki.repository`), the sibling-pair ROV status taxonomy of
+Figure 18 (:mod:`repro.rpki.pair_status`), and the builder deriving a
+repository from a synthetic universe (:mod:`repro.rpki.builder`).
+"""
+
+from repro.rpki.pair_status import PairRovStatus, classify_pair
+from repro.rpki.repository import RpkiRepository
+from repro.rpki.roa import RIRS, Roa
+from repro.rpki.validation import RovStatus, validate_origin
+from repro.rpki.builder import repository_from_universe
+
+__all__ = [
+    "PairRovStatus",
+    "RIRS",
+    "Roa",
+    "RovStatus",
+    "RpkiRepository",
+    "classify_pair",
+    "repository_from_universe",
+    "validate_origin",
+]

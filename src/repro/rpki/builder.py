@@ -1,0 +1,74 @@
+"""Derive a dated RPKI repository from a synthetic universe.
+
+Each organization has an RPKI adoption date (sampled at build time to
+follow the Figure 18 adoption curve).  Once adopted, an org publishes
+ROAs for most of its announced prefixes; a small deterministic fraction
+are misconfigured (a covering ROA whose max_length is shorter than the
+announcement, or a stale origin ASN), producing INVALID announcements
+like the paper's 2-8% conflicting / invalid population.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.dates import STUDY_END, STUDY_START, month_range
+from repro.determinism import stable_choice, stable_uniform
+from repro.rpki.repository import RpkiRepository, VrpSet
+from repro.rpki.roa import RIRS, Roa
+from repro.synth.universe import Universe
+
+#: Share of an adopted org's prefixes that actually get a ROA.
+_COVERED_FRACTION = 0.92
+
+#: Of covered prefixes, how many get a loose max_length (+2 bits).
+_LOOSE_MAXLEN_FRACTION = 0.3
+
+
+def repository_from_universe(
+    universe: Universe,
+    start: tuple[int, int] = STUDY_START,
+    end: tuple[int, int] = STUDY_END,
+) -> RpkiRepository:
+    """Monthly snapshots over [start, end] derived from org adoption."""
+    repository = RpkiRepository()
+    seed = universe.config.seed
+    invalid_fraction = universe.config.rpki_invalid_fraction
+    for year, month in month_range(start, end):
+        snapshot_date = datetime.date(year, month, 1)
+        vrps = VrpSet()
+        for announcement in universe.fabric.announcements:
+            if announcement.announced > snapshot_date:
+                continue
+            org = universe.population.org(announcement.org_id)
+            if org.rpki_adoption is None or org.rpki_adoption > snapshot_date:
+                continue
+            prefix = announcement.prefix
+            if (
+                stable_uniform(seed, "roa-covered", str(prefix))
+                > _COVERED_FRACTION
+            ):
+                continue
+            origin = org.asn_for_family(prefix.version)
+            rir = stable_choice(RIRS, "rir", str(prefix))
+            if stable_uniform(seed, "roa-misconfig", str(prefix)) < invalid_fraction:
+                # Misconfiguration: a covering ROA that cannot match the
+                # announcement — either too-short max_length via the
+                # covering supernet, or a stale origin.
+                if prefix.length > 1 and stable_uniform(seed, "mistype", str(prefix)) < 0.5:
+                    supernet = prefix.supernet()
+                    vrps.add(
+                        Roa(supernet, origin, max_length=supernet.length, rir=rir)
+                    )
+                else:
+                    vrps.add(Roa(prefix, origin + 1_000_000, rir=rir))
+                continue
+            max_length = prefix.length
+            if (
+                stable_uniform(seed, "roa-loose", str(prefix))
+                < _LOOSE_MAXLEN_FRACTION
+            ):
+                max_length = min(prefix.length + 2, prefix.bits)
+            vrps.add(Roa(prefix, origin, max_length=max_length, rir=rir))
+        repository.add_snapshot(snapshot_date, vrps)
+    return repository

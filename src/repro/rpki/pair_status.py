@@ -1,0 +1,51 @@
+"""The sibling-pair ROV status taxonomy of Figure 18."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.rpki.validation import RovStatus
+
+
+class PairRovStatus(enum.Enum):
+    """Joint ROV state of a sibling prefix pair (order-insensitive)."""
+
+    BOTH_VALID = "both valid"
+    VALID_NOTFOUND = "valid + not found"
+    VALID_INVALID = "valid + invalid"
+    INVALID_NOTFOUND = "invalid + not found"
+    BOTH_INVALID = "both invalid"
+    BOTH_NOTFOUND = "both not found"
+
+    @property
+    def has_valid(self) -> bool:
+        """At least one side VALID — the paper's headline 60-65% bucket."""
+        return self in (
+            PairRovStatus.BOTH_VALID,
+            PairRovStatus.VALID_NOTFOUND,
+            PairRovStatus.VALID_INVALID,
+        )
+
+    @property
+    def has_invalid(self) -> bool:
+        return self in (
+            PairRovStatus.VALID_INVALID,
+            PairRovStatus.INVALID_NOTFOUND,
+            PairRovStatus.BOTH_INVALID,
+        )
+
+
+def classify_pair(v4_status: RovStatus, v6_status: RovStatus) -> PairRovStatus:
+    """Map the two per-prefix statuses onto the six joint categories."""
+    statuses = {v4_status, v6_status}
+    if statuses == {RovStatus.VALID}:
+        return PairRovStatus.BOTH_VALID
+    if statuses == {RovStatus.VALID, RovStatus.NOT_FOUND}:
+        return PairRovStatus.VALID_NOTFOUND
+    if statuses == {RovStatus.VALID, RovStatus.INVALID}:
+        return PairRovStatus.VALID_INVALID
+    if statuses == {RovStatus.INVALID, RovStatus.NOT_FOUND}:
+        return PairRovStatus.INVALID_NOTFOUND
+    if statuses == {RovStatus.INVALID}:
+        return PairRovStatus.BOTH_INVALID
+    return PairRovStatus.BOTH_NOTFOUND

@@ -1,0 +1,52 @@
+"""Route Origin Authorization objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nettypes.prefix import Prefix
+
+#: The five Regional Internet Registries whose repositories the paper
+#: downloads monthly.
+RIRS = ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE")
+
+
+@dataclass(frozen=True, slots=True)
+class Roa:
+    """One validated ROA payload (VRP): (prefix, max_length, origin AS).
+
+    ``max_length`` bounds how specific an announcement may be while still
+    matching this ROA (RFC 6482); it defaults to the ROA prefix length.
+    """
+
+    prefix: Prefix
+    asn: int
+    max_length: int | None = None
+    rir: str = "RIPE"
+
+    def __post_init__(self):
+        if self.asn < 0 or self.asn >= 2**32:
+            raise ValueError(f"invalid AS number: {self.asn}")
+        if self.rir not in RIRS:
+            raise ValueError(f"unknown RIR: {self.rir!r}")
+        effective = self.max_length
+        if effective is None:
+            object.__setattr__(self, "max_length", self.prefix.length)
+        elif not self.prefix.length <= effective <= self.prefix.bits:
+            raise ValueError(
+                f"max_length /{effective} outside [{self.prefix.length}, "
+                f"{self.prefix.bits}] for {self.prefix}"
+            )
+
+    def covers(self, announcement: Prefix) -> bool:
+        """True if this VRP is a *covering* ROA for the announcement."""
+        return self.prefix.contains(announcement)
+
+    def matches(self, announcement: Prefix, origin: int) -> bool:
+        """True if the announcement is VALID under this VRP alone."""
+        assert self.max_length is not None
+        return (
+            self.covers(announcement)
+            and announcement.length <= self.max_length
+            and origin == self.asn
+        )

@@ -1,0 +1,32 @@
+"""RFC 6811 route origin validation."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.nettypes.prefix import Prefix
+from repro.rpki.roa import Roa
+
+
+class RovStatus(enum.Enum):
+    """The tri-state outcome of origin validation for one announcement."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    NOT_FOUND = "notfound"
+
+
+def validate_origin(
+    announcement: Prefix, origin: int, vrps: Iterable[Roa]
+) -> RovStatus:
+    """RFC 6811 §2: NOT_FOUND without covering VRPs; VALID if any covering
+    VRP matches both origin and max length; INVALID otherwise."""
+    covered = False
+    for vrp in vrps:
+        if not vrp.covers(announcement):
+            continue
+        covered = True
+        if vrp.matches(announcement, origin):
+            return RovStatus.VALID
+    return RovStatus.INVALID if covered else RovStatus.NOT_FOUND

@@ -1,0 +1,22 @@
+"""The ZMap-equivalent port-scan substrate (Sections 2.7 and 3.6).
+
+:mod:`repro.scan.ports` defines the paper's 14 well-known ports and the
+service profiles deployments run; :mod:`repro.scan.zmap` simulates the
+scan (responsiveness, blocklist, rate cap, per-family policy drift);
+:mod:`repro.scan.analysis` computes the port-set Jaccard per sibling pair
+and the DNS-vs-scan heatmap of Figure 6.
+"""
+
+from repro.scan.analysis import PairScanResult, portscan_overlap, scan_heatmap
+from repro.scan.ports import SERVICE_PROFILES, WELL_KNOWN_PORTS
+from repro.scan.zmap import PortScanner, ScanObservation
+
+__all__ = [
+    "PairScanResult",
+    "PortScanner",
+    "SERVICE_PROFILES",
+    "ScanObservation",
+    "WELL_KNOWN_PORTS",
+    "portscan_overlap",
+    "scan_heatmap",
+]

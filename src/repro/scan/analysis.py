@@ -1,0 +1,101 @@
+"""Port-scan overlap analysis (Section 3.6, Figure 6).
+
+For every sibling pair, gather the responsive ports of all scanned
+addresses inside each side's prefix and compute the Jaccard similarity of
+the two port sets.  Binning those values against the DNS-based Jaccard
+yields the Figure 6 heatmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import jaccard
+from repro.core.siblings import SiblingSet
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.trie import PatriciaTrie
+from repro.nettypes.prefix import Prefix
+from repro.scan.zmap import ScanObservation
+
+
+@dataclass(frozen=True, slots=True)
+class PairScanResult:
+    """DNS-based vs scan-based similarity for one sibling pair."""
+
+    v4_prefix: Prefix
+    v6_prefix: Prefix
+    dns_jaccard: float
+    port_jaccard: float
+    responsive: bool
+
+
+def _port_index(observations: list[ScanObservation]) -> dict[int, PatriciaTrie]:
+    tries = {IPV4: PatriciaTrie(IPV4), IPV6: PatriciaTrie(IPV6)}
+    for observation in observations:
+        if observation.is_responsive:
+            tries[observation.version].insert(
+                Prefix.host(observation.version, observation.address),
+                observation.responsive_ports,
+            )
+    return tries
+
+
+def portscan_overlap(
+    siblings: SiblingSet, observations: list[ScanObservation]
+) -> list[PairScanResult]:
+    """Evaluate every sibling pair against the scan results."""
+    tries = _port_index(observations)
+    results: list[PairScanResult] = []
+    for pair in siblings:
+        v4_ports: set[int] = set()
+        for _, ports in tries[IPV4].subtree_items(pair.v4_prefix):
+            v4_ports |= ports
+        v6_ports: set[int] = set()
+        for _, ports in tries[IPV6].subtree_items(pair.v6_prefix):
+            v6_ports |= ports
+        responsive = bool(v4_ports) or bool(v6_ports)
+        results.append(
+            PairScanResult(
+                v4_prefix=pair.v4_prefix,
+                v6_prefix=pair.v6_prefix,
+                dns_jaccard=pair.similarity,
+                port_jaccard=jaccard(v4_ports, v6_ports),
+                responsive=responsive,
+            )
+        )
+    return results
+
+
+def responsive_share(results: list[PairScanResult]) -> float:
+    """Share of sibling pairs with any scan response (paper: 70.9%)."""
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.responsive) / len(results)
+
+
+def _bin_index(value: float, bins: int = 10) -> int:
+    """Map [0,1] into 0..bins-1 with 1.0 landing in the top bin."""
+    if value >= 1.0:
+        return bins - 1
+    return min(int(value * bins), bins - 1)
+
+
+def scan_heatmap(
+    results: list[PairScanResult], bins: int = 10, responsive_only: bool = True
+) -> list[list[float]]:
+    """The Figure 6 matrix: cell[scan_bin][dns_bin] = % of sibling pairs.
+
+    Rows are scan-Jaccard bins (row 0 = lowest), columns DNS-Jaccard bins.
+    """
+    counts = [[0 for _ in range(bins)] for _ in range(bins)]
+    total = 0
+    for result in results:
+        if responsive_only and not result.responsive:
+            continue
+        row = _bin_index(result.port_jaccard, bins)
+        column = _bin_index(result.dns_jaccard, bins)
+        counts[row][column] += 1
+        total += 1
+    if total == 0:
+        return [[0.0] * bins for _ in range(bins)]
+    return [[100.0 * c / total for c in row] for row in counts]

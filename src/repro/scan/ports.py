@@ -1,0 +1,33 @@
+"""Port inventory and service profiles.
+
+The paper scans 14 well-known ports (Section 3.6): FTP data/control,
+SSH, Telnet, SMTP, DNS, HTTP, POP3, NTP, IMAP, SNMP, IRC, HTTPS, and
+TR-069 (CPE management).
+"""
+
+from __future__ import annotations
+
+#: The paper's exact port set.
+WELL_KNOWN_PORTS: tuple[int, ...] = (
+    20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 194, 443, 7547,
+)
+
+#: What each deployment service profile listens on (within the scanned
+#: port set).  The universe assigns profile names to deployments.
+SERVICE_PROFILES: dict[str, frozenset[int]] = {
+    "web": frozenset({80, 443}),
+    "web_ssh": frozenset({22, 80, 443}),
+    "mail": frozenset({25, 110, 143, 443}),
+    "dns": frozenset({53, 443}),
+    "mixed": frozenset({22, 25, 53, 80, 443}),
+    "cpe": frozenset({23, 80, 7547}),
+    "probe": frozenset({80, 443}),
+    # Firewalled infrastructure: silently drops all scan probes on both
+    # families — the population behind the paper's 29% unresponsive pairs.
+    "stealth": frozenset(),
+}
+
+
+def profile_ports(profile: str) -> frozenset[int]:
+    """The open ports of a profile; unknown profiles default to web."""
+    return SERVICE_PROFILES.get(profile, SERVICE_PROFILES["web"])

@@ -1,0 +1,144 @@
+"""The port scanner simulator (ZMap / ZMapv6 stand-in).
+
+Probes a host inventory (ground truth from the universe) and returns per
+address the set of responsive scanned ports.  The response model captures
+the effects the paper depends on:
+
+* hosts answer on their profile's open ports, with per-host
+  responsiveness below 1 (firewalls, rate limiting) — IPv6 slightly less
+  responsive than IPv4, as observed in the wild;
+* per-family *policy drift*: the IPv6 face of a host occasionally has an
+  extra open port (Czyz et al.: "ports are nearly always more open in
+  IPv6") or drops one;
+* a blocklist is honoured and the scan rate is capped at 50 kpps, as the
+  ethics section requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.determinism import stable_uniform, stable_choice
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+from repro.nettypes.sets import PrefixSet
+from repro.scan.ports import WELL_KNOWN_PORTS, profile_ports
+
+#: Per-host probability of answering the scan at all.
+_RESPONSIVENESS = {IPV4: 0.92, IPV6: 0.82}
+
+#: Probability the IPv6 face opens one extra port / closes one port.
+_V6_EXTRA_OPEN = 0.15
+_V6_CLOSED = 0.05
+
+#: The ethics-section scanning rate cap.
+MAX_PPS = 50_000
+
+
+@dataclass(frozen=True, slots=True)
+class ScanObservation:
+    """Responsive ports for one probed address."""
+
+    version: int
+    address: int
+    responsive_ports: frozenset[int]
+
+    @property
+    def is_responsive(self) -> bool:
+        return bool(self.responsive_ports)
+
+
+@dataclass
+class ScanStats:
+    """Bookkeeping the scanner reports alongside results."""
+
+    probes_sent: int = 0
+    responsive_addresses: int = 0
+    blocked_addresses: int = 0
+    duration_seconds: float = 0.0
+
+
+class PortScanner:
+    """Scan a ground-truth inventory over the 14 well-known ports."""
+
+    def __init__(
+        self,
+        inventory: dict[tuple[int, int], str],
+        seed: int = 0,
+        blocklist: PrefixSet | None = None,
+        ports: tuple[int, ...] = WELL_KNOWN_PORTS,
+        rate_pps: int = MAX_PPS,
+    ):
+        if rate_pps <= 0 or rate_pps > MAX_PPS:
+            raise ValueError(f"scan rate must be within (0, {MAX_PPS}] pps")
+        self._inventory = inventory
+        self._seed = seed
+        self._blocklist = blocklist if blocklist is not None else PrefixSet()
+        self._ports = ports
+        self._rate_pps = rate_pps
+        self.stats = ScanStats()
+
+    def _open_ports(self, version: int, address: int, profile: str) -> frozenset[int]:
+        ports = set(profile_ports(profile))
+        if not ports:
+            # Firewalled (stealth) hosts never answer; drift cannot open
+            # a port through a drop-all policy.
+            return frozenset()
+        if version == IPV6:
+            # Policy drift on the IPv6 face.
+            if stable_uniform(self._seed, "drift-open", address) < _V6_EXTRA_OPEN:
+                extra = stable_choice(
+                    [p for p in self._ports if p not in ports] or [443],
+                    "drift-port",
+                    address,
+                )
+                ports.add(extra)
+            if (
+                len(ports) > 1
+                and stable_uniform(self._seed, "drift-close", address) < _V6_CLOSED
+            ):
+                ports.discard(min(ports))
+        return frozenset(p for p in ports if p in self._ports)
+
+    def scan_address(self, version: int, address: int) -> ScanObservation:
+        """Probe one address on all configured ports."""
+        self.stats.probes_sent += len(self._ports)
+        if self._blocklist.covers_address(version, address):
+            self.stats.blocked_addresses += 1
+            return ScanObservation(version, address, frozenset())
+        profile = self._inventory.get((version, address))
+        if profile is None:
+            return ScanObservation(version, address, frozenset())
+        if (
+            stable_uniform(self._seed, "responsive", version, address)
+            > _RESPONSIVENESS[version]
+        ):
+            return ScanObservation(version, address, frozenset())
+        observation = ScanObservation(
+            version, address, self._open_ports(version, address, profile)
+        )
+        if observation.is_responsive:
+            self.stats.responsive_addresses += 1
+        return observation
+
+    def scan_inventory(self) -> list[ScanObservation]:
+        """Probe every inventory address (the paper scans the addresses
+        seen in the DNS data, not whole prefixes, for IPv6 feasibility)."""
+        observations = [
+            self.scan_address(version, address)
+            for (version, address) in sorted(self._inventory)
+        ]
+        self.stats.duration_seconds = self.stats.probes_sent / self._rate_pps
+        return observations
+
+    def scan_prefix_v4(self, prefix: Prefix) -> list[ScanObservation]:
+        """Exhaustively probe a (small) IPv4 prefix, ZMap style."""
+        if prefix.version != IPV4:
+            raise ValueError("exhaustive scanning is IPv4-only; use the hitlist")
+        if prefix.host_bits > 16:
+            raise ValueError("refusing to sweep more than a /16")
+        observations = []
+        for address in range(prefix.first_address, prefix.last_address + 1):
+            observations.append(self.scan_address(IPV4, address))
+        self.stats.duration_seconds = self.stats.probes_sent / self._rate_pps
+        return observations

@@ -1,0 +1,41 @@
+"""The synthetic Internet universe.
+
+Every external feed the paper consumes (OpenINTEL, Routeviews, RPKI,
+as2org, ASdb, port scans, RIPE Atlas) is generated from one coherent,
+seeded model of organizations, autonomous systems, address allocations,
+announcements, and dual-stack service deployments evolving over the
+2020-09 .. 2024-09 study window.
+
+Key property: the generator records **ground truth** — which (IPv4 block,
+IPv6 block) pairs each organization intentionally operates as dual-stack
+siblings — so detection quality can be measured directly, not only
+approximated via vantage points as in the paper.
+
+Entry point: :func:`repro.synth.universe.build_universe` with a
+:class:`repro.synth.scenarios.ScenarioConfig` preset.
+"""
+
+from repro.synth.entities import (
+    Deployment,
+    DeploymentTier,
+    DomainSpec,
+    HostingMode,
+    Organization,
+    VisibilityPattern,
+)
+from repro.synth.scenarios import SCENARIOS, ScenarioConfig, scenario
+from repro.synth.universe import Universe, build_universe
+
+__all__ = [
+    "Deployment",
+    "DeploymentTier",
+    "DomainSpec",
+    "HostingMode",
+    "Organization",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "Universe",
+    "VisibilityPattern",
+    "build_universe",
+    "scenario",
+]

@@ -1,0 +1,90 @@
+"""Sequential, collision-free address allocation.
+
+A bump allocator over curated global-unicast superblocks.  Every prefix
+the universe announces comes from here, so prefixes never overlap across
+organizations (other than deliberate block-inside-announcement nesting,
+which callers construct themselves by sub-allocating within a prefix they
+already own).
+"""
+
+from __future__ import annotations
+
+from repro.nettypes.addr import IPV4, IPV6, MAX_LENGTH
+from repro.nettypes.prefix import Prefix
+
+#: Global-unicast /8s that contain none of the reserved ranges.
+_V4_SUPERBLOCKS = tuple(
+    Prefix.parse(text)
+    for text in (
+        "5.0.0.0/8",
+        "23.0.0.0/8",
+        "45.0.0.0/8",
+        "64.0.0.0/8",
+        "80.0.0.0/8",
+        "93.0.0.0/8",
+        "101.0.0.0/8",
+        "128.0.0.0/8",
+        "151.0.0.0/8",
+        "163.0.0.0/8",
+        "178.0.0.0/8",
+        "193.0.0.0/8",
+        "199.0.0.0/8",
+        "217.0.0.0/8",
+    )
+)
+
+#: Clean global-unicast IPv6 space (avoids 2001::/23, 2001:db8::/32, 2002::/16).
+_V6_SUPERBLOCKS = (Prefix.parse("2600::/12"), Prefix.parse("2a00::/12"))
+
+
+class AddressPlanExhausted(RuntimeError):
+    """Raised when the plan runs out of superblock space."""
+
+
+class AddressPlan:
+    """Bump allocator handing out non-overlapping prefixes."""
+
+    def __init__(self):
+        self._superblocks = {IPV4: _V4_SUPERBLOCKS, IPV6: _V6_SUPERBLOCKS}
+        self._block_index = {IPV4: 0, IPV6: 0}
+        self._cursor = {
+            IPV4: _V4_SUPERBLOCKS[0].first_address,
+            IPV6: _V6_SUPERBLOCKS[0].first_address,
+        }
+        self.allocated = {IPV4: 0, IPV6: 0}
+
+    def allocate(self, version: int, length: int) -> Prefix:
+        """Hand out the next free prefix of the requested length."""
+        bits = MAX_LENGTH[version]
+        if not 0 < length <= bits:
+            raise ValueError(f"invalid prefix length /{length} for IPv{version}")
+        size = 1 << (bits - length)
+        while True:
+            blocks = self._superblocks[version]
+            index = self._block_index[version]
+            if index >= len(blocks):
+                raise AddressPlanExhausted(
+                    f"IPv{version} address plan exhausted at /{length}"
+                )
+            block = blocks[index]
+            if length < block.length:
+                raise ValueError(
+                    f"/{length} larger than superblock {block}; refusing"
+                )
+            # Align the cursor up to the requested size.
+            cursor = self._cursor[version]
+            aligned = (cursor + size - 1) & ~(size - 1)
+            if aligned + size - 1 <= block.last_address:
+                self._cursor[version] = aligned + size
+                self.allocated[version] += 1
+                return Prefix(version, aligned, length)
+            # Current superblock exhausted: advance.
+            self._block_index[version] = index + 1
+            if self._block_index[version] < len(blocks):
+                self._cursor[version] = blocks[self._block_index[version]].first_address
+
+    def allocate_v4(self, length: int) -> Prefix:
+        return self.allocate(IPV4, length)
+
+    def allocate_v6(self, length: int) -> Prefix:
+        return self.allocate(IPV6, length)

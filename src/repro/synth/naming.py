@@ -1,0 +1,48 @@
+"""Deterministic generation of organization and domain names."""
+
+from __future__ import annotations
+
+from repro.determinism import stable_choice, stable_hash
+
+_ADJECTIVES = (
+    "blue", "rapid", "quiet", "solar", "iron", "amber", "polar", "vivid",
+    "lunar", "crisp", "bold", "clear", "prime", "brisk", "calm", "deep",
+    "early", "fresh", "grand", "keen", "lively", "mild", "noble", "open",
+)
+
+_NOUNS = (
+    "falcon", "harbor", "matrix", "signal", "summit", "garden", "anchor",
+    "beacon", "canyon", "delta", "ember", "forge", "glacier", "horizon",
+    "island", "junction", "kernel", "lantern", "meadow", "nexus", "orbit",
+    "prairie", "quarry", "river",
+)
+
+_ORG_SUFFIXES = ("Networks", "Systems", "Hosting", "Online", "Group", "Labs",
+                 "Digital", "Telecom", "Cloud", "Media")
+
+#: gTLDs plus the ccTLDs OpenINTEL covers; ``fr`` is special-cased by the
+#: toplist schedule (added August 2022).
+TLDS = ("com", "net", "org", "io", "de", "nl", "se", "dk", "fi", "fr")
+
+
+def org_name(org_id: int) -> str:
+    """A readable, unique organization name."""
+    adjective = stable_choice(_ADJECTIVES, "orgname-adj", org_id)
+    noun = stable_choice(_NOUNS, "orgname-noun", org_id)
+    suffix = stable_choice(_ORG_SUFFIXES, "orgname-sfx", org_id)
+    return f"{adjective.capitalize()}{noun.capitalize()} {suffix} {org_id}"
+
+
+def domain_name(domain_id: int, tld: str | None = None) -> str:
+    """A unique second-level domain; TLD chosen deterministically unless
+    pinned by the caller (e.g. forced ``.fr`` for the ccTLD event)."""
+    adjective = stable_choice(_ADJECTIVES, "domain-adj", domain_id)
+    noun = stable_choice(_NOUNS, "domain-noun", domain_id)
+    if tld is None:
+        tld = stable_choice(TLDS[:-1], "domain-tld", domain_id)  # .fr pinned only
+    return f"{adjective}-{noun}-{domain_id}.{tld}"
+
+
+def host_label(deployment_id: int, slot: int) -> str:
+    """A hostname label for generated CNAME targets."""
+    return f"edge-{stable_hash('edge', deployment_id, slot) % 997:03d}"

@@ -1,0 +1,178 @@
+"""Scenario presets — the size/rate knobs of the synthetic universe.
+
+All behavioural rates default to values calibrated against the paper's
+published distributions (see DESIGN.md §4 for the expected shapes); the
+presets differ mainly in scale so tests stay fast while benches have
+enough statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synth.entities import DeploymentTier
+
+
+def _default_tier_weights() -> dict[DeploymentTier, float]:
+    # Calibrated so the default-case perfect-match share lands near the
+    # paper's 52% and SP-Tuner(/28,/96) near 82% (Figure 5).
+    return {
+        DeploymentTier.DEDICATED: 0.28,
+        DeploymentTier.ROUTABLE_SHARED: 0.20,
+        DeploymentTier.DEEP_SHARED: 0.28,
+        DeploymentTier.NOISY: 0.24,
+    }
+
+
+def _default_domain_buckets() -> tuple[tuple[tuple[int, int], float], ...]:
+    # Dual-stack domains per deployment (Figure 8: 55% single-domain,
+    # 21% 2-5, heavy tail beyond).
+    return (
+        ((1, 1), 0.55),
+        ((2, 5), 0.21),
+        ((6, 10), 0.09),
+        ((11, 50), 0.09),
+        ((51, 100), 0.03),
+        ((101, 250), 0.03),
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything the universe builder needs.
+
+    Sizes (orgs, probes, monitoring placements) scale the universe;
+    rates (churn, adoption, tier weights) shape the distributions.
+    """
+
+    name: str
+    seed: int = 20250920
+
+    # -- scale ---------------------------------------------------------------
+    n_service_orgs: int = 150
+    n_eyeball_orgs: int = 20
+    n_hgcdn_orgs: int = 12           # top-N of the paper's 24 by weight
+    n_hosting_orgs: int = 8          # IT orgs offering split hosting
+    n_probes: int = 300              # RIPE-Atlas-like vantage points
+    n_vpses: int = 40                # IPinfo-VPS-like vantage points
+    monitoring_v4_placements: int = 24
+    monitoring_v6_placements: int = 6
+    #: Scales the hypergiant weight → deployment count conversion.
+    hgcdn_deployment_scale: float = 0.02
+    #: Scales the domains-per-deployment buckets (tail shrink for tests).
+    domain_scale: float = 1.0
+
+    # -- composition ------------------------------------------------------------
+    tier_weights: dict = field(default_factory=_default_tier_weights)
+    domain_buckets: tuple = field(default_factory=_default_domain_buckets)
+    #: Deployments with IPv4 and IPv6 hosted by different organizations.
+    split_hosting_fraction: float = 0.22
+    #: Single-stack (IPv4-only) domains per dual-stack domain.
+    singlestack_ratio: float = 3.0
+    #: Fraction of single-stack domains that are IPv6-only instead.
+    v6_only_fraction: float = 0.015
+
+    # -- time dynamics -------------------------------------------------------------
+    #: Fraction of deployments existing before the study window opens.
+    preexisting_fraction: float = 0.32
+    #: Monthly probability that a v4-only domain publishes AAAA.
+    ds_adoption_monthly: float = 0.002
+    #: Monthly per-domain probability of renumbering within the prefix.
+    renumber_monthly: float = 0.0045
+    #: Monthly per-domain probability of moving prefix, per family —
+    #: applies only to deployments with alternate blocks, so the
+    #: population-wide rates land near the paper's 9% (v4) / 6% (v6)
+    #: yearly prefix changes.
+    move_monthly_v4: float = 0.035
+    move_monthly_v6: float = 0.025
+    #: Fraction of deployments that expand into a second IPv6 prefix
+    #: mid-window (the "changed Jaccard" population of Figure 10).
+    expansion_fraction: float = 0.05
+    #: Visibility pattern mix (Figure 7 left).
+    stable_fraction: float = 0.45
+    oneshot_fraction: float = 0.15
+    intermittent_visibility: float = 0.55
+
+    # -- RPKI ------------------------------------------------------------------------
+    #: Share of orgs with ROAs before the window / by its end (Figure 18).
+    rpki_initial_adoption: float = 0.30
+    rpki_final_adoption: float = 0.68
+    #: Probability an adopted org's prefix has an invalid ROA (misconfig).
+    rpki_invalid_fraction: float = 0.05
+
+    def __post_init__(self):
+        if not 0 < self.n_hgcdn_orgs <= 24:
+            raise ValueError("n_hgcdn_orgs must be within 1..24")
+        weight_sum = sum(self.tier_weights.values())
+        if abs(weight_sum - 1.0) > 1e-6:
+            raise ValueError(f"tier weights must sum to 1 (got {weight_sum})")
+
+
+#: Named presets.  ``tiny`` backs the unit tests, ``small`` the examples
+#: and quick benches, ``medium`` the longitudinal benches.  ``paper``
+#: documents the scale of the original study; building it takes hours and
+#: is intentionally not wired into any test.
+SCENARIOS: dict[str, ScenarioConfig] = {
+    "tiny": ScenarioConfig(
+        name="tiny",
+        n_service_orgs=30,
+        n_eyeball_orgs=6,
+        n_hgcdn_orgs=6,
+        n_hosting_orgs=3,
+        n_probes=60,
+        n_vpses=12,
+        monitoring_v4_placements=8,
+        monitoring_v6_placements=3,
+        hgcdn_deployment_scale=0.004,
+        domain_scale=0.35,
+    ),
+    "small": ScenarioConfig(
+        name="small",
+        n_service_orgs=150,
+        n_eyeball_orgs=20,
+        n_hgcdn_orgs=12,
+        n_hosting_orgs=8,
+        n_probes=300,
+        n_vpses=40,
+        monitoring_v4_placements=24,
+        monitoring_v6_placements=6,
+        hgcdn_deployment_scale=0.01,
+        domain_scale=0.5,
+    ),
+    "medium": ScenarioConfig(
+        name="medium",
+        n_service_orgs=450,
+        n_eyeball_orgs=40,
+        n_hgcdn_orgs=24,
+        n_hosting_orgs=16,
+        n_probes=800,
+        n_vpses=80,
+        monitoring_v4_placements=60,
+        monitoring_v6_placements=12,
+        hgcdn_deployment_scale=0.02,
+        domain_scale=0.8,
+    ),
+    "paper": ScenarioConfig(
+        name="paper",
+        n_service_orgs=30000,
+        n_eyeball_orgs=3000,
+        n_hgcdn_orgs=24,
+        n_hosting_orgs=400,
+        n_probes=5174,
+        n_vpses=260,
+        monitoring_v4_placements=376,
+        monitoring_v6_placements=55,
+        hgcdn_deployment_scale=1.0,
+        domain_scale=1.0,
+    ),
+}
+
+
+def scenario(name: str) -> ScenarioConfig:
+    """Look up a preset by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None

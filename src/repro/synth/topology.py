@@ -1,0 +1,242 @@
+"""Organization, AS, and dataset generation.
+
+Builds the organization population (ordinary service orgs, eyeball
+networks, hosting providers, the hypergiant/CDN roster, and the
+site24x7-like monitoring org), assigns AS numbers, and derives the two
+as2org dataset generations plus the ASdb classification from them.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.dates import STUDY_END, STUDY_START, month_range, second_wednesday
+from repro.determinism import stable_uniform, stable_weighted_choice
+from repro.orgs.as2org import CHEN_DATASET_EPOCH, As2Org, As2OrgArchive
+from repro.orgs.asdb import AsdbDataset, BusinessCategory
+from repro.orgs.hypergiants import HgCdnOrg, HgCdnRegistry
+from repro.synth.entities import Organization
+from repro.synth.naming import org_name
+from repro.synth.scenarios import ScenarioConfig
+
+#: Business-category mix for ordinary orgs — IT dominates (Figure 16).
+_CATEGORY_WEIGHTS: tuple[tuple[BusinessCategory, float], ...] = (
+    (BusinessCategory.IT, 0.38),
+    (BusinessCategory.EDUCATION, 0.09),
+    (BusinessCategory.SERVICE, 0.08),
+    (BusinessCategory.FINANCE, 0.07),
+    (BusinessCategory.MEDIA, 0.06),
+    (BusinessCategory.RETAIL, 0.06),
+    (BusinessCategory.OTHER, 0.06),
+    (BusinessCategory.GOVERNMENT, 0.05),
+    (BusinessCategory.MANUFACTURING, 0.04),
+    (BusinessCategory.ENTERTAINMENT, 0.03),
+    (BusinessCategory.TRAVEL, 0.02),
+    (BusinessCategory.REAL_ESTATE, 0.02),
+    (BusinessCategory.UTILITIES, 0.01),
+    (BusinessCategory.AGRICULTURE, 0.01),
+    (BusinessCategory.NONPROFITS, 0.01),
+    (BusinessCategory.HEALTH, 0.005),
+    (BusinessCategory.SHIPMENT, 0.005),
+)
+
+#: ~20% of classified ASes carry more than one category, which the
+#: paper's single-type filter then excludes.
+_MULTI_CATEGORY_FRACTION = 0.2
+
+_FIRST_ASN = 1000
+
+#: Country mix for generated organizations (roughly hosting-market-like).
+_COUNTRIES: tuple[tuple[str, float], ...] = (
+    ("US", 0.30), ("DE", 0.12), ("NL", 0.08), ("FR", 0.08), ("GB", 0.07),
+    ("SE", 0.05), ("JP", 0.05), ("SG", 0.04), ("BR", 0.04), ("IN", 0.04),
+    ("CA", 0.04), ("AU", 0.03), ("ZA", 0.03), ("FI", 0.03),
+)
+
+MONITORING_ORG_NAME = "WatchTower Monitoring (site24x7-like)"
+MONITORING_DOMAIN = "probe.watchtower-monitoring.com"
+
+
+@dataclass
+class Population:
+    """Everything :func:`build_population` produces."""
+
+    organizations: dict[int, Organization]
+    service_org_ids: list[int]
+    eyeball_org_ids: list[int]
+    hosting_org_ids: list[int]
+    hgcdn_org_ids: dict[str, int]  # org name → org_id
+    monitoring_org_id: int
+    as2org_archive: As2OrgArchive
+    asdb: AsdbDataset
+    registry: HgCdnRegistry
+
+    def org(self, org_id: int) -> Organization:
+        return self.organizations[org_id]
+
+
+def _rpki_adoption_date(config: ScenarioConfig, seed: int, org_id: int) -> datetime.date | None:
+    """When this org starts publishing ROAs, reproducing the Figure 18
+    adoption curve: ``rpki_initial_adoption`` before the window, growing
+    linearly to ``rpki_final_adoption`` by its end."""
+    u = stable_uniform(seed, "rpki-adoption", org_id)
+    if u < config.rpki_initial_adoption:
+        return datetime.date(2015, 1, 1)
+    if u >= config.rpki_final_adoption:
+        return None
+    months = list(month_range(STUDY_START, STUDY_END))
+    span = config.rpki_final_adoption - config.rpki_initial_adoption
+    position = (u - config.rpki_initial_adoption) / span
+    index = min(int(position * len(months)), len(months) - 1)
+    year, month = months[index]
+    return datetime.date(year, month, 1)
+
+
+def _categories(seed: int, org_id: int) -> frozenset[BusinessCategory]:
+    options = [c for c, _ in _CATEGORY_WEIGHTS]
+    weights = [w for _, w in _CATEGORY_WEIGHTS]
+    primary = stable_weighted_choice(options, weights, seed, "category", org_id)
+    if stable_uniform(seed, "multi-category", org_id) < _MULTI_CATEGORY_FRACTION:
+        secondary = stable_weighted_choice(
+            options, weights, seed, "category2", org_id
+        )
+        if secondary is not primary:
+            return frozenset({primary, secondary})
+    return frozenset({primary})
+
+
+def build_population(config: ScenarioConfig) -> Population:
+    """Generate all organizations, their ASNs, and the org datasets."""
+    seed = config.seed
+    organizations: dict[int, Organization] = {}
+    next_org_id = 1
+    next_asn = _FIRST_ASN
+
+    def take_asns(org_id: int, multi_probability: float) -> tuple[int, ...]:
+        nonlocal next_asn
+        count = 2 if stable_uniform(seed, "multi-asn", org_id) < multi_probability else 1
+        asns = tuple(range(next_asn, next_asn + count))
+        next_asn += count
+        return asns
+
+    def new_org(
+        *,
+        name: str | None = None,
+        style=None,
+        is_eyeball: bool = False,
+        multi_asn_probability: float = 0.3,
+        categories: frozenset[BusinessCategory] | None = None,
+    ) -> Organization:
+        nonlocal next_org_id
+        org_id = next_org_id
+        next_org_id += 1
+        org = Organization(
+            org_id=org_id,
+            name=name if name is not None else org_name(org_id),
+            categories=(
+                categories if categories is not None else _categories(seed, org_id)
+            ),
+            asns=take_asns(org_id, multi_asn_probability),
+            style=style,
+            rpki_adoption=_rpki_adoption_date(config, seed, org_id),
+            is_eyeball=is_eyeball,
+            country=stable_weighted_choice(
+                [c for c, _ in _COUNTRIES],
+                [w for _, w in _COUNTRIES],
+                seed, "country", org_id,
+            ),
+        )
+        organizations[org_id] = org
+        return org
+
+    # Hypergiants / CDNs first (stable ids across scales).
+    registry = HgCdnRegistry()
+    hgcdn_org_ids: dict[str, int] = {}
+    chosen: list[HgCdnOrg] = registry.by_weight()[: config.n_hgcdn_orgs]
+    for entry in chosen:
+        org = new_org(
+            name=entry.name,
+            style=entry.style,
+            multi_asn_probability=0.8,
+            categories=frozenset({BusinessCategory.IT}),
+        )
+        hgcdn_org_ids[entry.name] = org.org_id
+
+    service_org_ids = [
+        new_org().org_id for _ in range(config.n_service_orgs)
+    ]
+    # Hosting orgs are IT organizations offering split hosting.
+    hosting_org_ids = [
+        new_org(categories=frozenset({BusinessCategory.IT})).org_id
+        for _ in range(config.n_hosting_orgs)
+    ]
+    eyeball_org_ids = [
+        new_org(is_eyeball=True).org_id for _ in range(config.n_eyeball_orgs)
+    ]
+    monitoring_org = new_org(
+        name=MONITORING_ORG_NAME,
+        categories=frozenset({BusinessCategory.IT}),
+        multi_asn_probability=0.0,
+    )
+
+    as2org_archive = _build_as2org(seed, organizations)
+    asdb = _build_asdb(organizations)
+
+    return Population(
+        organizations=organizations,
+        service_org_ids=service_org_ids,
+        eyeball_org_ids=eyeball_org_ids,
+        hosting_org_ids=hosting_org_ids,
+        hgcdn_org_ids=hgcdn_org_ids,
+        monitoring_org_id=monitoring_org.org_id,
+        as2org_archive=as2org_archive,
+        asdb=asdb,
+        registry=registry,
+    )
+
+
+def _build_as2org(
+    seed: int, organizations: dict[int, Organization]
+) -> As2OrgArchive:
+    """Two dataset generations: the CAIDA-era mapping misses some sibling
+    merges (second ASNs registered under a legacy name variant); the Chen
+    et al. generation merges them — reproducing the paper's epoch switch."""
+    caida = As2Org()
+    chen = As2Org()
+    for org in organizations.values():
+        for index, asn in enumerate(org.asns):
+            chen.assign(asn, org.name)
+            if index > 0 and stable_uniform(seed, "caida-unmerged", asn) < 0.35:
+                caida.assign(asn, f"{org.name} (legacy registration)")
+            else:
+                caida.assign(asn, org.name)
+    archive = As2OrgArchive()
+    archive.add(datetime.date(2015, 1, 1), caida)
+    archive.add(CHEN_DATASET_EPOCH, chen)
+    return archive
+
+
+def _build_asdb(organizations: dict[int, Organization]) -> AsdbDataset:
+    dataset = AsdbDataset()
+    for org in organizations.values():
+        for asn in org.asns:
+            dataset.classify(asn, org.categories)
+    return dataset
+
+
+def deployment_creation_date(
+    config: ScenarioConfig, deployment_id: int
+) -> datetime.date:
+    """When a deployment comes online.  ``preexisting_fraction`` predate
+    the window; the rest spread across it with later months favoured, so
+    the sibling count roughly doubles over four years (Figure 9)."""
+    u = stable_uniform(config.seed, "deployment-created", deployment_id)
+    if u < config.preexisting_fraction:
+        return datetime.date(2018, 1, 1)
+    months = list(month_range(STUDY_START, STUDY_END))
+    position = (u - config.preexisting_fraction) / (1 - config.preexisting_fraction)
+    # sqrt skews mass toward later months (growth accelerates).
+    index = min(int(position**0.75 * len(months)), len(months) - 1)
+    year, month = months[index]
+    return second_wednesday(year, month)

@@ -1,0 +1,22 @@
+"""Shared fixtures: one tiny universe per test session."""
+
+import pytest
+
+from repro.dates import REFERENCE_DATE
+from repro.synth import build_universe
+
+
+@pytest.fixture(scope="session")
+def tiny_universe():
+    return build_universe("tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_detection(tiny_universe):
+    """(siblings, index) for the reference date on the tiny universe."""
+    from repro.core.detection import detect_with_index
+
+    return detect_with_index(
+        tiny_universe.snapshot_at(REFERENCE_DATE),
+        tiny_universe.annotator_at(REFERENCE_DATE),
+    )

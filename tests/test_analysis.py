@@ -1,0 +1,307 @@
+"""Tests for the Section 4 analysis modules on the tiny universe."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.business import (
+    BusinessVariant,
+    business_type_heatmap,
+    dominant_category,
+    it_involvement_share,
+)
+from repro.analysis.cidr import (
+    V4_GROUPS_TUNED,
+    V6_GROUPS_TUNED,
+    cidr_size_heatmap,
+    modal_combination,
+)
+from repro.analysis.dataset_stats import dataset_evolution
+from repro.analysis.domain_bins import diagonal_share, domain_count_heatmap
+from repro.analysis.dynamics import analyze_dynamics
+from repro.analysis.hgcdn import hgcdn_distribution, hgcdn_heatmap
+from repro.analysis.organizations import (
+    pair_origins,
+    split_by_organization,
+    unique_prefix_counts,
+)
+from repro.analysis.pipeline import detect_at, paper_offsets, tuned_at
+from repro.analysis.rov import (
+    at_least_one_valid_share,
+    pair_rov_shares,
+    rov_timeline,
+)
+from repro.analysis.timeline import org_split_timeline, sibling_count_timeline
+from repro.core.sptuner import TunerConfig
+from repro.dates import REFERENCE_DATE
+from repro.rpki.builder import repository_from_universe
+
+
+@pytest.fixture(scope="module")
+def reference_sets(tiny_universe):
+    siblings, index = detect_at(tiny_universe, REFERENCE_DATE)
+    tuned, _ = tuned_at(tiny_universe, REFERENCE_DATE, TunerConfig())
+    return siblings, tuned, index
+
+
+class TestPipelineHelpers:
+    def test_paper_offsets_ordering(self):
+        offsets = paper_offsets(REFERENCE_DATE)
+        labels = [label for label, _ in offsets]
+        assert labels[0] == "Year -4" and labels[-1] == "Day 0"
+        dates = [date for _, date in offsets]
+        assert dates == sorted(dates)
+
+    def test_detect_and_tune(self, reference_sets):
+        siblings, tuned, _ = reference_sets
+        assert len(siblings) > 0
+        assert tuned.perfect_match_share >= siblings.perfect_match_share
+
+
+class TestDatasetStats:
+    def test_evolution_series(self, tiny_universe):
+        dates = [datetime.date(2020, 9, 9), datetime.date(2022, 9, 14), REFERENCE_DATE]
+        ts = dataset_evolution(tiny_universe, dates)
+        assert ts.last("total_domains") > ts.first("total_domains")
+        assert ts.last("ds_share_pct") > ts.first("ds_share_pct")
+        # Tranco contributes only after September 2022.
+        assert ts.at("tranco", dates[0]) == 0.0
+        assert ts.at("tranco", dates[2]) > 0.0
+
+
+class TestDynamics:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_universe):
+        return analyze_dynamics(tiny_universe, REFERENCE_DATE, months=13)
+
+    def test_visibility_histogram(self, report):
+        assert set(report.visibility_histogram) <= set(range(1, 14))
+        assert report.total_ds_domains > 0
+        # A meaningful consistent population exists (paper: ~40%).
+        assert 0.15 < report.visibility_share(13) < 0.75
+
+    def test_prefix_more_stable_than_address(self, report):
+        prefix_year = report.same_prefix["Year -1"][2]
+        address_year = report.same_address["Year -1"][2]
+        assert prefix_year >= address_year
+
+    def test_stability_degrades_with_lookback(self, report):
+        assert report.same_prefix["Day 0"][2] == pytest.approx(100.0)
+        assert report.same_prefix["Year -1"][2] <= report.same_prefix["Month -1"][2]
+
+    def test_high_prefix_stability(self, report):
+        # Paper: >91% of consistent domains keep their prefixes over a year.
+        assert report.same_prefix["Year -1"][2] > 70.0
+
+
+class TestDomainBins:
+    def test_heatmap(self, reference_sets):
+        _, tuned, _ = reference_sets
+        heatmap = domain_count_heatmap(tuned)
+        assert heatmap.total() == pytest.approx(100.0)
+        # Single-domain pairs dominate (paper: 55%).
+        assert heatmap.cell("1", "1") > 25.0
+        assert 0.0 <= diagonal_share(heatmap) <= 1.0
+
+
+class TestCidr:
+    def test_default_distribution(self, reference_sets):
+        siblings, _, _ = reference_sets
+        heatmap = cidr_size_heatmap(siblings)
+        assert heatmap.total() == pytest.approx(100.0)
+        row, column, share = modal_combination(heatmap)
+        # /24 x /48 is the modal default combination (paper: 23.41%).
+        assert column == "24"
+        assert row == "48"
+
+    def test_tuned_distribution_concentrates_at_threshold(self, reference_sets):
+        _, tuned, _ = reference_sets
+        heatmap = cidr_size_heatmap(
+            tuned, V4_GROUPS_TUNED, V6_GROUPS_TUNED, title="fig36"
+        )
+        # Most tuned pairs land exactly on /28-/96 (paper: 86.95%).
+        assert heatmap.cell("96", "28") > 30.0
+
+    def test_bad_length_rejected(self):
+        from repro.analysis.cidr import _group_index
+
+        with pytest.raises(ValueError):
+            _group_index(33, (((0, 32, "x"),))[0:1])
+
+
+class TestOrganizations:
+    def test_pair_origins(self, tiny_universe, reference_sets):
+        siblings, _, _ = reference_sets
+        pair = next(iter(siblings))
+        origins = pair_origins(tiny_universe, pair, REFERENCE_DATE)
+        assert origins.v4_asn is not None
+        assert origins.v4_org is not None
+
+    def test_split(self, tiny_universe, reference_sets):
+        siblings, _, _ = reference_sets
+        split = split_by_organization(tiny_universe, siblings, REFERENCE_DATE)
+        assert split.same_count + split.different_count + len(split.unresolved) == len(
+            siblings
+        )
+        # Both populations exist; the different-org median sits at 1.0
+        # thanks to the monitoring (site24x7-like) pairs, as in the paper.
+        assert split.same_count > 0 and split.different_count > 0
+        assert split.median_jaccard(same=False) == pytest.approx(1.0)
+        q25, q75 = split.quartiles(same=True)
+        assert q25 <= split.median_jaccard(same=True) <= q75
+
+    def test_unique_counts(self, reference_sets):
+        siblings, _, _ = reference_sets
+        unique_v4, unique_v6 = unique_prefix_counts(siblings)
+        assert 0 < unique_v4 <= len(siblings)
+        assert 0 < unique_v6 <= len(siblings)
+
+
+class TestBusiness:
+    def test_variants(self, tiny_universe, reference_sets):
+        siblings, _, _ = reference_sets
+        fig16 = business_type_heatmap(
+            tiny_universe, siblings, REFERENCE_DATE,
+            BusinessVariant.PAIRS_EXCLUDING_SAME_ASN,
+        )
+        fig21 = business_type_heatmap(
+            tiny_universe, siblings, REFERENCE_DATE, BusinessVariant.UNFILTERED
+        )
+        fig20 = business_type_heatmap(
+            tiny_universe, siblings, REFERENCE_DATE, BusinessVariant.UNIQUE_AS_PAIRS
+        )
+        assert fig21.total() >= fig16.total() >= fig20.total()
+
+    def test_it_dominates(self, tiny_universe, reference_sets):
+        siblings, _, _ = reference_sets
+        heatmap = business_type_heatmap(
+            tiny_universe, siblings, REFERENCE_DATE, BusinessVariant.UNFILTERED
+        )
+        assert it_involvement_share(heatmap) > 0.3
+        row, column, _ = dominant_category(heatmap)
+        assert "IT" in (row, column)
+
+
+class TestHgCdn:
+    def test_distribution_and_heatmap(self, tiny_universe, reference_sets):
+        _, tuned, _ = reference_sets
+        distribution = hgcdn_distribution(tiny_universe, tuned, REFERENCE_DATE)
+        assert "non-CDN-HG" in distribution.rows
+        named = [org for org in distribution.rows if org != "non-CDN-HG"]
+        assert named, "expected HG/CDN-attributed pairs"
+        heatmap = hgcdn_heatmap(distribution, min_pairs=2)
+        assert heatmap.column_labels[-1] == "0.9-1.0"
+        for row in heatmap.cells:
+            assert sum(row) == pytest.approx(100.0) or sum(row) == 0.0
+
+    def test_agility_orgs_have_low_similarity(self, tiny_universe, reference_sets):
+        _, tuned, _ = reference_sets
+        distribution = hgcdn_distribution(tiny_universe, tuned, REFERENCE_DATE)
+        from repro.orgs.hypergiants import DeploymentStyle
+
+        for org_name in distribution.rows:
+            entry = tiny_universe.registry.get(org_name)
+            if entry is not None and entry.style is DeploymentStyle.AGILITY:
+                # Agility CDNs: meaningfully less than half perfect.
+                assert distribution.high_similarity_share(org_name) < 0.6
+
+
+class TestRov:
+    @pytest.fixture(scope="class")
+    def repository(self, tiny_universe):
+        return repository_from_universe(tiny_universe)
+
+    def test_shares_sum_to_100(self, tiny_universe, reference_sets, repository):
+        siblings, _, _ = reference_sets
+        shares = pair_rov_shares(tiny_universe, siblings, repository, REFERENCE_DATE)
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_valid_share_grows(self, tiny_universe, repository):
+        early_date = datetime.date(2020, 9, 9)
+        early_siblings, _ = detect_at(tiny_universe, early_date)
+        early = at_least_one_valid_share(
+            pair_rov_shares(tiny_universe, early_siblings, repository, early_date)
+        )
+        late_siblings, _ = detect_at(tiny_universe, REFERENCE_DATE)
+        late = at_least_one_valid_share(
+            pair_rov_shares(tiny_universe, late_siblings, repository, REFERENCE_DATE)
+        )
+        assert late > early
+
+    def test_timeline_container(self, tiny_universe, repository):
+        dates = [datetime.date(2021, 9, 8), REFERENCE_DATE]
+        area = rov_timeline(tiny_universe, repository, dates)
+        assert len(area.dates) == 2
+        for row in area.shares:
+            assert sum(row) == pytest.approx(100.0)
+
+
+class TestTimeline:
+    def test_sibling_growth(self, tiny_universe):
+        dates = [datetime.date(2020, 9, 9), REFERENCE_DATE]
+        ts = sibling_count_timeline(tiny_universe, dates)
+        assert ts.last("pairs") > 1.5 * ts.first("pairs")
+
+    def test_org_split_timeline(self, tiny_universe):
+        ts = org_split_timeline(tiny_universe, [REFERENCE_DATE])
+        total = ts.last("same_org_pairs") + ts.last("diff_org_pairs")
+        assert total > 0
+        assert ts.last("diff_org_median_jaccard") == pytest.approx(1.0)
+        assert 0.0 < ts.last("same_org_median_jaccard") <= 1.0
+
+
+class TestStability:
+    def test_pair_survival_monotone_toward_reference(self, tiny_universe):
+        from repro.analysis.pipeline import paper_offsets
+        from repro.analysis.stability import pair_survival, survival_timeseries
+
+        offsets = dict(paper_offsets(REFERENCE_DATE))
+        dates = [offsets["Year -2"], offsets["Month -6"], offsets["Week -1"]]
+        points = pair_survival(tiny_universe, dates, REFERENCE_DATE)
+        assert len(points) == 3
+        shares = [p.survival_share for p in points]
+        # Closer snapshots survive better into the reference set.
+        assert shares[0] <= shares[-1] + 0.05
+        # Recent pairs are overwhelmingly stable (the abstract's claim).
+        assert shares[-1] > 0.85
+        for point in points:
+            assert point.surviving_identical <= point.surviving
+
+    def test_survival_timeseries_container(self, tiny_universe):
+        from repro.analysis.stability import SurvivalPoint, survival_timeseries
+
+        points = [
+            SurvivalPoint(REFERENCE_DATE, pairs_then=10, surviving=8, surviving_identical=6)
+        ]
+        series = survival_timeseries(points)
+        assert series.last("survival_pct") == pytest.approx(80.0)
+        assert series.last("identical_pct") == pytest.approx(60.0)
+
+    def test_survival_empty(self):
+        from repro.analysis.stability import SurvivalPoint
+
+        point = SurvivalPoint(REFERENCE_DATE, 0, 0, 0)
+        assert point.survival_share == 0.0
+        assert point.identical_share == 0.0
+
+
+class TestHyperSpecific:
+    def test_hyper_specific_rare_in_default_case(self, reference_sets):
+        from repro.analysis.cidr import hyper_specific_shares
+
+        siblings, tuned, _ = reference_sets
+        v4_share, v6_share = hyper_specific_shares(siblings)
+        # Section 4.4: hyper-specific prefixes are very rare among
+        # BGP-announced sibling prefixes.
+        assert v4_share < 0.05
+        assert v6_share < 0.05
+        # After /28-/96 tuning, most prefixes are hyper-specific by design.
+        tuned_v4, tuned_v6 = hyper_specific_shares(tuned)
+        assert tuned_v4 > 0.5
+        assert tuned_v6 > 0.5
+
+    def test_hyper_specific_empty(self):
+        from repro.analysis.cidr import hyper_specific_shares
+        from repro.core.siblings import SiblingSet
+
+        assert hyper_specific_shares(SiblingSet(REFERENCE_DATE)) == (0.0, 0.0)

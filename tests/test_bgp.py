@@ -1,0 +1,150 @@
+"""Tests for the RIB, the archive, and the annotator fallback."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.rib import Rib, Route
+from repro.bgp.routeviews import PrefixAnnotator, RibArchive
+from repro.nettypes.addr import IPV4, IPV6, parse_ipv4, parse_ipv6
+from repro.nettypes.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def build_rib() -> Rib:
+    rib = Rib()
+    rib.announce(p("193.99.0.0/16"), 64500)
+    rib.announce(p("193.99.144.0/24"), 64501)
+    rib.announce(p("2001:db9::/32"), 64500)
+    return rib
+
+
+class TestRib:
+    def test_lpm_address(self):
+        rib = build_rib()
+        route = rib.route_for_address(IPV4, parse_ipv4("193.99.144.80"))
+        assert route is not None
+        assert route.prefix == p("193.99.144.0/24")
+        assert route.origin == 64501
+
+    def test_lpm_falls_back_to_covering(self):
+        rib = build_rib()
+        route = rib.route_for_address(IPV4, parse_ipv4("193.99.1.1"))
+        assert route.prefix == p("193.99.0.0/16")
+
+    def test_unrouted(self):
+        rib = build_rib()
+        assert rib.route_for_address(IPV4, parse_ipv4("8.8.8.8")) is None
+
+    def test_v6(self):
+        rib = build_rib()
+        route = rib.route_for_address(IPV6, parse_ipv6("2001:db9::1"))
+        assert route.prefix == p("2001:db9::/32")
+
+    def test_route_for_prefix(self):
+        rib = build_rib()
+        assert rib.route_for_prefix(p("193.99.144.0/25")).prefix == p("193.99.144.0/24")
+
+    def test_moas(self):
+        rib = Rib()
+        rib.announce(p("203.0.113.0/24"), 64510)
+        rib.announce(p("203.0.113.0/24"), 64509)
+        route = rib.exact_route(p("203.0.113.0/24"))
+        assert route.is_moas
+        assert route.origins == frozenset({64509, 64510})
+        assert route.origin == 64509  # deterministic tie-break
+
+    def test_withdraw_single_origin(self):
+        rib = Rib()
+        rib.announce(p("203.0.113.0/24"), 64510)
+        rib.announce(p("203.0.113.0/24"), 64509)
+        rib.withdraw(p("203.0.113.0/24"), 64509)
+        assert rib.exact_route(p("203.0.113.0/24")).origins == frozenset({64510})
+        rib.withdraw(p("203.0.113.0/24"), 64510)
+        assert rib.exact_route(p("203.0.113.0/24")) is None
+
+    def test_withdraw_whole_prefix(self):
+        rib = build_rib()
+        rib.withdraw(p("193.99.0.0/16"))
+        assert rib.route_for_address(IPV4, parse_ipv4("193.99.1.1")) is None
+
+    def test_withdraw_absent_raises(self):
+        with pytest.raises(KeyError):
+            Rib().withdraw(p("10.0.0.0/8"))
+
+    def test_invalid_asn(self):
+        with pytest.raises(ValueError):
+            Rib().announce(p("10.0.0.0/8"), -1)
+        with pytest.raises(ValueError):
+            Rib().announce(p("10.0.0.0/8"), 2**32)
+
+    def test_counts_and_iteration(self):
+        rib = build_rib()
+        assert rib.prefix_count(IPV4) == 2
+        assert rib.prefix_count(IPV6) == 1
+        assert len(rib) == 3
+        assert len(list(rib.routes())) == 3
+        assert len(list(rib.routes(IPV4))) == 2
+        assert p("193.99.0.0/16") in rib
+
+
+class TestRibArchive:
+    def test_latest_at_or_before(self):
+        archive = RibArchive()
+        rib_old, rib_new = Rib(), Rib()
+        rib_old.announce(p("10.0.0.0/8"), 1)
+        rib_new.announce(p("10.0.0.0/8"), 2)
+        archive.add(datetime.date(2022, 1, 1), rib_old)
+        archive.add(datetime.date(2023, 1, 1), rib_new)
+        assert archive.at(datetime.date(2022, 6, 1)).origin_of(
+            IPV4, parse_ipv4("10.1.1.1")
+        ) == 1
+        assert archive.at(datetime.date(2023, 1, 1)).origin_of(
+            IPV4, parse_ipv4("10.1.1.1")
+        ) == 2
+
+    def test_before_first_raises(self):
+        archive = RibArchive()
+        archive.add(datetime.date(2022, 1, 1), Rib())
+        with pytest.raises(LookupError):
+            archive.at(datetime.date(2021, 12, 31))
+
+    def test_duplicate_date_rejected(self):
+        archive = RibArchive()
+        archive.add(datetime.date(2022, 1, 1), Rib())
+        with pytest.raises(ValueError):
+            archive.add(datetime.date(2022, 1, 1), Rib())
+
+
+class TestPrefixAnnotator:
+    def test_reserved_discarded(self):
+        annotator = PrefixAnnotator(build_rib())
+        assert annotator.annotate(IPV4, parse_ipv4("10.1.2.3")) is None
+        assert annotator.discarded == 1
+
+    def test_basic_annotation(self):
+        annotator = PrefixAnnotator(build_rib(), missing_fraction=0.0)
+        route = annotator.annotate(IPV4, parse_ipv4("193.99.144.80"))
+        assert route.prefix == p("193.99.144.0/24")
+
+    def test_fallback_used_when_primary_misses(self):
+        primary = Rib()  # empty: everything missing
+        fallback = build_rib()
+        annotator = PrefixAnnotator(primary, fallback, missing_fraction=0.0)
+        route = annotator.annotate(IPV4, parse_ipv4("193.99.144.80"))
+        assert route is not None
+        assert annotator.fallback_hits == 1
+
+    def test_missing_fraction_forces_fallback_path(self):
+        rib = build_rib()
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=1.0)
+        route = annotator.annotate(IPV4, parse_ipv4("193.99.144.80"))
+        assert route is not None  # same answer, via fallback
+        assert annotator.fallback_hits == 1
+
+    def test_missing_fraction_validated(self):
+        with pytest.raises(ValueError):
+            PrefixAnnotator(build_rib(), missing_fraction=1.5)

@@ -1,0 +1,211 @@
+"""Tests for Steps 1-4 on hand-constructed fixtures."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.rib import Rib
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.detection import (
+    BestMatchMode,
+    compute_pair_stats,
+    detect_siblings,
+    detect_with_index,
+    select_best_matches,
+)
+from repro.core.domainsets import build_index
+from repro.dns.openintel import DnsSnapshot, DomainObservation
+from repro.nettypes.prefix import Prefix
+
+DATE = datetime.date(2024, 9, 11)
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def addr(text):
+    return Prefix.parse(text).value
+
+
+def build_world():
+    """Two IPv4 and two IPv6 prefixes with controlled domain overlap.
+
+    d1, d2: A4 ↔ A6 (perfect pair)
+    d3:     A4 ↔ B6 (pulls A4 toward B6, but minority)
+    d4:     B4 ↔ B6 (perfect pair)
+    """
+    rib = Rib()
+    rib.announce(p("5.1.0.0/24"), 64500)
+    rib.announce(p("5.2.0.0/24"), 64501)
+    rib.announce(p("2600:100::/48"), 64500)
+    rib.announce(p("2600:200::/48"), 64501)
+    observations = [
+        DomainObservation("d1.example.com", (addr("5.1.0.10"),), (addr("2600:100::10"),)),
+        DomainObservation("d2.example.com", (addr("5.1.0.11"),), (addr("2600:100::11"),)),
+        DomainObservation("d3.example.com", (addr("5.1.0.12"),), (addr("2600:200::12"),)),
+        DomainObservation("d4.example.com", (addr("5.2.0.10"),), (addr("2600:200::10"),)),
+    ]
+    snapshot = DnsSnapshot(DATE, observations)
+    annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+    return snapshot, annotator
+
+
+class TestIndex:
+    def test_grouping(self):
+        snapshot, annotator = build_world()
+        index = build_index(snapshot, annotator)
+        assert index.domain_count == 4
+        assert index.v4_prefix_count == 2
+        assert index.v6_prefix_count == 2
+        assert index.domains_of(p("5.1.0.0/24")) == {
+            "d1.example.com",
+            "d2.example.com",
+            "d3.example.com",
+        }
+        assert index.domains_of(p("2600:200::/48")) == {
+            "d3.example.com",
+            "d4.example.com",
+        }
+
+    def test_non_ds_domain_ignored(self):
+        snapshot, annotator = build_world()
+        snapshot._add(DomainObservation("v4only.example.com", (addr("5.1.0.99"),), ()))
+        index = build_index(snapshot, annotator)
+        assert "v4only.example.com" not in index.domain_v4_prefixes
+
+    def test_reserved_address_discard(self):
+        snapshot, annotator = build_world()
+        # DS domain whose only v4 address is private: dropped entirely.
+        snapshot._add(
+            DomainObservation(
+                "private.example.com", (addr("10.0.0.1"),), (addr("2600:100::77"),)
+            )
+        )
+        index = build_index(snapshot, annotator)
+        assert index.dropped_domains == 1
+        assert "private.example.com" not in index.domain_v4_prefixes
+
+    def test_unrouted_address_discard(self):
+        snapshot, annotator = build_world()
+        snapshot._add(
+            DomainObservation(
+                "unrouted.example.com", (addr("93.93.93.93"),), (addr("2600:100::88"),)
+            )
+        )
+        index = build_index(snapshot, annotator)
+        assert index.dropped_domains == 1
+
+    def test_multi_prefix_domain(self):
+        snapshot, annotator = build_world()
+        snapshot._add(
+            DomainObservation(
+                "multi.example.com",
+                (addr("5.1.0.50"), addr("5.2.0.50")),
+                (addr("2600:100::50"),),
+            )
+        )
+        index = build_index(snapshot, annotator)
+        assert index.domain_v4_prefixes["multi.example.com"] == {
+            p("5.1.0.0/24"),
+            p("5.2.0.0/24"),
+        }
+
+
+class TestPairStats:
+    def test_sparse_pairs_only(self):
+        snapshot, annotator = build_world()
+        index = build_index(snapshot, annotator)
+        stats = compute_pair_stats(index)
+        keys = {(s.v4_prefix, s.v6_prefix) for s in stats}
+        # (B4, A6) shares nothing and must not materialize.
+        assert (p("5.2.0.0/24"), p("2600:100::/48")) not in keys
+        assert len(stats) == 3
+
+    def test_counts(self):
+        snapshot, annotator = build_world()
+        index = build_index(snapshot, annotator)
+        stats = {(s.v4_prefix, s.v6_prefix): s for s in compute_pair_stats(index)}
+        a4a6 = stats[(p("5.1.0.0/24"), p("2600:100::/48"))]
+        assert len(a4a6.shared_domains) == 2
+        assert a4a6.v4_domain_count == 3
+        assert a4a6.v6_domain_count == 2
+        assert a4a6.similarity("jaccard") == pytest.approx(2 / 3)
+        assert a4a6.similarity("overlap") == pytest.approx(1.0)
+
+
+class TestBestMatch:
+    def test_either_mode(self):
+        snapshot, annotator = build_world()
+        siblings = detect_siblings(snapshot, annotator)
+        keys = {(s.v4_prefix, s.v6_prefix) for s in siblings}
+        # A4's best is A6 (2/3 beats 1/4); B6's best is B4 (1/2 vs 1/4);
+        # (A4,B6) loses on both sides and must be absent.
+        assert (p("5.1.0.0/24"), p("2600:100::/48")) in keys
+        assert (p("5.2.0.0/24"), p("2600:200::/48")) in keys
+        assert (p("5.1.0.0/24"), p("2600:200::/48")) not in keys
+
+    def test_similarity_values(self):
+        snapshot, annotator = build_world()
+        siblings = detect_siblings(snapshot, annotator)
+        pair = siblings.get(p("5.1.0.0/24"), p("2600:100::/48"))
+        assert pair is not None
+        assert pair.similarity == pytest.approx(2 / 3)
+        assert not pair.is_perfect
+        assert pair.union_size == 3
+
+    def test_ties_kept(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/24"), 1)
+        rib.announce(p("2600:100::/48"), 1)
+        rib.announce(p("2600:200::/48"), 1)
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation(
+                    "tied.example.com",
+                    (addr("5.1.0.1"),),
+                    (addr("2600:100::1"), addr("2600:200::1")),
+                )
+            ],
+        )
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        siblings = detect_siblings(snapshot, annotator)
+        # Both v6 prefixes tie at J=1: both pairs kept.
+        assert len(siblings) == 2
+
+    def test_both_mode_is_subset_of_either(self):
+        snapshot, annotator = build_world()
+        either = detect_siblings(snapshot, annotator, mode=BestMatchMode.EITHER)
+        both = detect_siblings(snapshot, annotator, mode=BestMatchMode.BOTH)
+        either_keys = {(s.v4_prefix, s.v6_prefix) for s in either}
+        both_keys = {(s.v4_prefix, s.v6_prefix) for s in both}
+        assert both_keys <= either_keys
+
+    def test_v4_only_mode(self):
+        snapshot, annotator = build_world()
+        v4only = detect_siblings(snapshot, annotator, mode=BestMatchMode.V4_ONLY)
+        # Exactly one best pair per v4 prefix here (no ties).
+        assert len(v4only) == len(v4only.unique_v4_prefixes())
+
+    def test_metric_parameter(self):
+        snapshot, annotator = build_world()
+        overlap = detect_siblings(snapshot, annotator, metric="overlap")
+        # With the overlap coefficient the subset pair (A4, A6) saturates.
+        pair = overlap.get(p("5.1.0.0/24"), p("2600:100::/48"))
+        assert pair is not None and pair.similarity == pytest.approx(1.0)
+
+    def test_detect_with_index_consistency(self):
+        snapshot, annotator = build_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        reference = detect_siblings(*build_world())
+        assert {(s.v4_prefix, s.v6_prefix) for s in siblings} == {
+            (s.v4_prefix, s.v6_prefix) for s in reference
+        }
+        assert index.domain_count == 4
+
+    def test_select_best_matches_empty(self):
+        snapshot, annotator = build_world()
+        index = build_index(snapshot, annotator)
+        result = select_best_matches([], index)
+        assert len(result) == 0

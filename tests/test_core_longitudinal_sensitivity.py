@@ -1,0 +1,128 @@
+"""Tests for change classification and the threshold sensitivity sweep."""
+
+import datetime
+
+import pytest
+
+from repro.core.longitudinal import ChangeClass, classify_changes
+from repro.core.sensitivity import SensitivityCell, cell_at, sweep_thresholds
+from repro.core.siblings import SiblingPair, SiblingSet
+from repro.nettypes.prefix import Prefix
+
+OLD_DATE = datetime.date(2020, 9, 9)
+NEW_DATE = datetime.date(2024, 9, 11)
+
+
+def pair(v4: str, v6: str, similarity: float) -> SiblingPair:
+    return SiblingPair(
+        v4_prefix=Prefix.parse(v4),
+        v6_prefix=Prefix.parse(v6),
+        similarity=similarity,
+        shared_domains=frozenset({"d.example.com"}),
+        v4_domain_count=1,
+        v6_domain_count=1,
+    )
+
+
+class TestClassifyChanges:
+    def build(self):
+        old = SiblingSet(
+            OLD_DATE,
+            [
+                pair("5.1.0.0/24", "2600:100::/48", 1.0),   # stays identical
+                pair("5.2.0.0/24", "2600:200::/48", 0.8),   # changes to 0.5
+                pair("5.3.0.0/24", "2600:300::/48", 1.0),   # disappears
+            ],
+        )
+        new = SiblingSet(
+            NEW_DATE,
+            [
+                pair("5.1.0.0/24", "2600:100::/48", 1.0),
+                pair("5.2.0.0/24", "2600:200::/48", 0.5),
+                pair("5.4.0.0/24", "2600:400::/48", 1.0),   # brand new
+            ],
+        )
+        return old, new
+
+    def test_classification(self):
+        old, new = self.build()
+        report = classify_changes(old, new)
+        assert len(report.unchanged) == 1
+        assert len(report.changed) == 1
+        assert len(report.new) == 1
+        assert len(report.gone) == 1
+        assert report.total_current == 3
+
+    def test_changed_carries_both_values(self):
+        old, new = self.build()
+        report = classify_changes(old, new)
+        assert report.changed_old_similarities() == [0.8]
+        assert report.changed_current_similarities() == [0.5]
+
+    def test_shares(self):
+        old, new = self.build()
+        report = classify_changes(old, new)
+        assert report.share(ChangeClass.NEW) == pytest.approx(1 / 3)
+        assert report.share(ChangeClass.UNCHANGED) == pytest.approx(1 / 3)
+        assert report.share(ChangeClass.CHANGED) == pytest.approx(1 / 3)
+
+    def test_empty_sets(self):
+        report = classify_changes(SiblingSet(OLD_DATE), SiblingSet(NEW_DATE))
+        assert report.total_current == 0
+        assert report.share(ChangeClass.NEW) == 0.0
+
+    def test_all_new_when_old_empty(self):
+        _, new = self.build()
+        report = classify_changes(SiblingSet(OLD_DATE), new)
+        assert report.share(ChangeClass.NEW) == 1.0
+
+
+class TestSensitivitySweep:
+    @pytest.fixture(scope="class")
+    def detected(self):
+        from repro.core.detection import detect_with_index
+        from repro.dates import REFERENCE_DATE
+        from repro.synth import build_universe
+
+        universe = build_universe("tiny")
+        return detect_with_index(
+            universe.snapshot_at(REFERENCE_DATE),
+            universe.annotator_at(REFERENCE_DATE),
+        )
+
+    def test_grid_shape(self, detected):
+        siblings, index = detected
+        cells = sweep_thresholds(
+            siblings, index, v4_thresholds=(16, 24, 28), v6_thresholds=(32, 48, 96)
+        )
+        assert len(cells) == 9
+        assert all(isinstance(c, SensitivityCell) for c in cells)
+
+    def test_monotone_in_both_axes(self, detected):
+        # The paper's central Figure 4 observation: more specific
+        # thresholds yield higher mean Jaccard (row- and column-wise).
+        siblings, index = detected
+        cells = sweep_thresholds(
+            siblings, index, v4_thresholds=(16, 24, 28), v6_thresholds=(32, 48, 96)
+        )
+        for v6 in (32, 48, 96):
+            row = [cell_at(cells, v4, v6).mean for v4 in (16, 24, 28)]
+            assert row == sorted(row)
+        for v4 in (16, 24, 28):
+            column = [cell_at(cells, v4, v6).mean for v6 in (32, 48, 96)]
+            assert column == sorted(column)
+
+    def test_std_shrinks_toward_deep_thresholds(self, detected):
+        siblings, index = detected
+        cells = sweep_thresholds(
+            siblings, index, v4_thresholds=(16, 28), v6_thresholds=(32, 96)
+        )
+        assert cell_at(cells, 28, 96).std <= cell_at(cells, 16, 32).std
+
+    def test_cell_at_missing(self, detected):
+        siblings, index = detected
+        cells = sweep_thresholds(
+            siblings, index, v4_thresholds=(16,), v6_thresholds=(32,)
+        )
+        with pytest.raises(KeyError):
+            cell_at(cells, 28, 96)

@@ -1,0 +1,96 @@
+"""Tests for similarity metrics, including the paper's metric-choice facts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    METRICS_FROM_COUNTS,
+    dice,
+    dice_from_counts,
+    jaccard,
+    jaccard_from_counts,
+    overlap_coefficient,
+    overlap_from_counts,
+)
+
+sets = st.frozensets(st.integers(min_value=0, max_value=30), max_size=12)
+
+
+class TestBasics:
+    def test_identical_sets(self):
+        a = {"x", "y"}
+        assert jaccard(a, a) == 1.0
+        assert dice(a, a) == 1.0
+        assert overlap_coefficient(a, a) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+        assert dice({"a"}, {"b"}) == 0.0
+        assert overlap_coefficient({"a"}, {"b"}) == 0.0
+
+    def test_half_overlap(self):
+        a, b = {"x", "y"}, {"y", "z"}
+        assert jaccard(a, b) == pytest.approx(1 / 3)
+        assert dice(a, b) == pytest.approx(1 / 2)
+        assert overlap_coefficient(a, b) == pytest.approx(1 / 2)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 0.0
+        assert dice(set(), set()) == 0.0
+        assert overlap_coefficient(set(), set()) == 0.0
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_subset_saturates_overlap_only(self):
+        # The paper's reason for rejecting the overlap coefficient: a
+        # subset relation forces the value to 1 regardless of similarity.
+        big = set(range(100))
+        small = {1}
+        assert overlap_coefficient(small, big) == 1.0
+        assert jaccard(small, big) == pytest.approx(0.01)
+        assert dice(small, big) < 0.02
+
+    def test_counts_variants_match(self):
+        a, b = {"x", "y", "z"}, {"y", "z", "w", "v"}
+        inter = len(a & b)
+        assert jaccard_from_counts(inter, len(a), len(b)) == jaccard(a, b)
+        assert dice_from_counts(inter, len(a), len(b)) == dice(a, b)
+        assert overlap_from_counts(inter, len(a), len(b)) == overlap_coefficient(a, b)
+
+    def test_registry(self):
+        assert set(METRICS_FROM_COUNTS) == {"jaccard", "dice", "overlap"}
+
+
+class TestProperties:
+    @given(sets, sets)
+    def test_bounds(self, a, b):
+        for metric in (jaccard, dice, overlap_coefficient):
+            assert 0.0 <= metric(a, b) <= 1.0
+
+    @given(sets, sets)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert dice(a, b) == dice(b, a)
+        assert overlap_coefficient(a, b) == overlap_coefficient(b, a)
+
+    @given(sets, sets)
+    def test_dice_dominates_jaccard(self, a, b):
+        # Dice is "lenient to the right" (Section 3.2): it never reports
+        # a lower value than Jaccard.
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+    @given(sets, sets)
+    def test_overlap_dominates_dice(self, a, b):
+        assert overlap_coefficient(a, b) >= dice(a, b) - 1e-12
+
+    @given(sets, sets)
+    def test_perfect_iff_equal_nonempty(self, a, b):
+        if a or b:
+            assert (jaccard(a, b) == 1.0) == (a == b and bool(a))
+
+    @given(sets)
+    def test_jaccard_dice_relation(self, a):
+        # J = D / (2 - D) exactly.
+        b = frozenset(x + 1 for x in a)
+        d = dice(a, b)
+        assert jaccard(a, b) == pytest.approx(d / (2 - d) if d else 0.0)

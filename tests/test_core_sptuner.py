@@ -1,0 +1,337 @@
+"""Tests for SP-Tuner-MS and SP-Tuner-LS on constructed fixtures."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.rib import Rib
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.detection import detect_with_index
+from repro.core.domainsets import build_index
+from repro.core.siblings import SiblingSet
+from repro.core.sptuner import (
+    DEFAULT_CONFIG,
+    ROUTABLE_CONFIG,
+    LsConfig,
+    SpTunerLS,
+    SpTunerMS,
+    TunerConfig,
+)
+from repro.dns.openintel import DnsSnapshot, DomainObservation
+from repro.nettypes.prefix import Prefix
+
+DATE = datetime.date(2024, 9, 11)
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def addr(text):
+    return Prefix.parse(text).value
+
+
+def shared_v4_world():
+    """Two deployments sharing one announced IPv4 /24 (distinct /28
+    sub-blocks) with dedicated IPv6 /48s — the DEEP_SHARED situation
+    SP-Tuner-MS exists to repair."""
+    rib = Rib()
+    rib.announce(p("5.1.0.0/24"), 64500)
+    rib.announce(p("2600:100::/48"), 64500)
+    rib.announce(p("2600:200::/48"), 64500)
+    observations = [
+        # Deployment X in 5.1.0.0/28 ↔ 2600:100::/48.
+        DomainObservation("x1.example.com", (addr("5.1.0.2"),), (addr("2600:100::2"),)),
+        DomainObservation("x2.example.com", (addr("5.1.0.3"),), (addr("2600:100::3"),)),
+        # Deployment Y in 5.1.0.192/28 ↔ 2600:200::/48.
+        DomainObservation("y1.example.com", (addr("5.1.0.200"),), (addr("2600:200::2"),)),
+    ]
+    snapshot = DnsSnapshot(DATE, observations)
+    annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+    return snapshot, annotator, rib
+
+
+class TestSpTunerMS:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TunerConfig(v4_threshold=0)
+        with pytest.raises(ValueError):
+            TunerConfig(v6_threshold=200)
+        assert DEFAULT_CONFIG.v4_threshold == 28
+        assert ROUTABLE_CONFIG.v6_threshold == 48
+
+    def test_repairs_deep_shared_pair(self):
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        # Default: (5.1.0.0/24, 2600:100::/48) has J = 2/3.
+        default_pair = siblings.get(p("5.1.0.0/24"), p("2600:100::/48"))
+        assert default_pair is not None
+        assert default_pair.similarity == pytest.approx(2 / 3)
+
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        assert tuned.perfect_match_share == 1.0
+        # Both deployments recovered as perfect pairs.
+        v4_tuned = sorted(str(q) for q in tuned.unique_v4_prefixes())
+        assert all(p("5.1.0.0/24").contains(Prefix.parse(t)) for t in v4_tuned)
+        assert len(tuned) == 2
+
+    def test_thresholds_respected(self):
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(
+            index, TunerConfig(v4_threshold=28, v6_threshold=96)
+        ).tune_all(siblings)
+        for pair in tuned:
+            assert pair.v4_prefix.length <= 28
+            assert pair.v6_prefix.length <= 96
+
+    def test_routable_threshold_cannot_fix_deep_sharing(self):
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, ROUTABLE_CONFIG).tune_all(siblings)
+        # The shared /24 cannot be split below /24, so imperfection stays.
+        assert tuned.perfect_match_share < 1.0
+
+    def test_no_domain_lost_with_branches(self):
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        original_domains = set()
+        for pair in siblings:
+            original_domains |= pair.shared_domains
+        tuned_domains = set()
+        for pair in tuned:
+            tuned_domains |= pair.shared_domains
+        assert tuned_domains >= original_domains
+
+    def test_branch_ablation_loses_domains(self):
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        no_branches = SpTunerMS(
+            index, TunerConfig(track_branches=False)
+        ).tune_all(siblings)
+        with_branches = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        domains = lambda s: {d for pair in s for d in pair.shared_domains}
+        assert domains(no_branches) <= domains(with_branches)
+
+    def test_perfect_pair_descends_to_threshold(self):
+        # A single-domain pair keeps J=1 while descending; the paper's
+        # Figure 36 shows most pairs ending exactly at /28-/96.
+        rib = Rib()
+        rib.announce(p("5.9.0.0/24"), 1)
+        rib.announce(p("2600:900::/48"), 1)
+        snapshot = DnsSnapshot(
+            DATE,
+            [DomainObservation("solo.example.com", (addr("5.9.0.77"),), (addr("2600:900::77"),))],
+        )
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        assert len(tuned) == 1
+        pair = next(iter(tuned))
+        assert pair.v4_prefix.length == 28
+        assert pair.v6_prefix.length == 96
+        assert pair.similarity == 1.0
+        assert pair.v4_prefix.contains_address(addr("5.9.0.77"))
+
+    def test_already_deeper_than_threshold_untouched(self):
+        rib = Rib()
+        rib.announce(p("5.9.9.0/30"), 1)  # deeper than /28 threshold
+        rib.announce(p("2600:900::/48"), 1)
+        snapshot = DnsSnapshot(
+            DATE,
+            [DomainObservation("deep.example.com", (addr("5.9.9.1"),), (addr("2600:900::1"),))],
+        )
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        pair = next(iter(tuned))
+        assert pair.v4_prefix == p("5.9.9.0/30")  # not widened, not split
+
+    def test_never_decreases_similarity(self):
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        assert tuned.mean_similarity >= siblings.mean_similarity - 1e-9
+
+    def test_shared_address_is_irreducible(self):
+        # Two domains on ONE IPv4 address, only one present on IPv6:
+        # no threshold can separate them.
+        rib = Rib()
+        rib.announce(p("5.8.0.0/24"), 1)
+        rib.announce(p("2600:800::/48"), 1)
+        shared = addr("5.8.0.10")
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation("both.example.com", (shared,), (addr("2600:800::1"),)),
+                DomainObservation("v4heavy.example.com", (shared,), (addr("2600:999::1"),)),
+            ],
+        )
+        rib.announce(p("2600:999::/48"), 2)
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, TunerConfig(v4_threshold=32, v6_threshold=128)).tune_all(siblings)
+        pair_values = sorted(pair.similarity for pair in tuned)
+        assert all(v < 1.0 for v in pair_values)
+
+
+class TestSpTunerLS:
+    def test_widening_does_not_improve(self):
+        snapshot, annotator, rib = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuner = SpTunerLS(index, rib)
+        tuned = tuner.tune_all(siblings)
+        # The paper's negative result: similarity distribution unchanged.
+        assert sorted(tuned.similarities()) == pytest.approx(
+            sorted(siblings.similarities())
+        )
+
+    def test_prefixes_never_narrower(self):
+        snapshot, annotator, rib = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuner = SpTunerLS(index, rib, LsConfig(unbounded=True))
+        for pair in siblings:
+            refined = tuner.tune_pair(pair.v4_prefix, pair.v6_prefix)
+            assert refined.v4_prefix.length <= pair.v4_prefix.length
+            assert refined.v6_prefix.length <= pair.v6_prefix.length
+
+    def test_as_change_stops_walk(self):
+        # Two /24s under one /23 announced by different ASes: widening
+        # the first /24 to the /23 would cross into AS 64501's space.
+        rib = Rib()
+        rib.announce(p("5.4.0.0/24"), 64500)
+        rib.announce(p("5.4.1.0/24"), 64501)
+        rib.announce(p("2600:400::/48"), 64500)
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation("a.example.com", (addr("5.4.0.1"),), (addr("2600:400::1"),)),
+                DomainObservation("b.example.com", (addr("5.4.1.1"),), (addr("2600:400::2"),)),
+            ],
+        )
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuner = SpTunerLS(index, rib, LsConfig(unbounded=True))
+        pair = siblings.get(p("5.4.0.0/24"), p("2600:400::/48"))
+        assert pair is not None
+        refined = tuner.tune_pair(pair.v4_prefix, pair.v6_prefix)
+        # Widening to 5.4.0.0/23 would raise J (both domains shared) but
+        # the origin-AS change forbids it.
+        assert refined.v4_prefix == p("5.4.0.0/24")
+
+
+class TestTunerOnUniverse:
+    @pytest.fixture(scope="class")
+    def detected(self):
+        from repro.dates import REFERENCE_DATE
+        from repro.synth import build_universe
+
+        universe = build_universe("tiny")
+        snapshot = universe.snapshot_at(REFERENCE_DATE)
+        annotator = universe.annotator_at(REFERENCE_DATE)
+        return detect_with_index(snapshot, annotator)
+
+    def test_improvement_ordering(self, detected):
+        siblings, index = detected
+        routable = SpTunerMS(index, ROUTABLE_CONFIG).tune_all(siblings)
+        deep = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        assert (
+            siblings.perfect_match_share
+            < routable.perfect_match_share
+            < deep.perfect_match_share
+        )
+
+    def test_tuned_prefixes_nest_in_originals(self, detected):
+        siblings, index = detected
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        original_v4 = siblings.unique_v4_prefixes()
+        for pair in tuned:
+            assert any(o.contains(pair.v4_prefix) for o in original_v4)
+
+    def test_no_domain_lost_at_scale(self, detected):
+        siblings, index = detected
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        before = {d for pair in siblings for d in pair.shared_domains}
+        after = {d for pair in tuned for d in pair.shared_domains}
+        assert after >= before
+
+    def test_deterministic(self, detected):
+        siblings, index = detected
+        a = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        b = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        assert {(q.v4_prefix, q.v6_prefix, q.similarity) for q in a} == {
+            (q.v4_prefix, q.v6_prefix, q.similarity) for q in b
+        }
+
+
+class TestTunerAdversarial:
+    """Edge cases that stress the descent and branch logic."""
+
+    def test_asymmetric_thresholds_one_side_stuck(self):
+        # v4 threshold equals the announced length: only v6 may descend.
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuner = SpTunerMS(index, TunerConfig(v4_threshold=24, v6_threshold=96))
+        pair = siblings.get(p("5.1.0.0/24"), p("2600:100::/48"))
+        refined = tuner.tune_pair(pair.v4_prefix, pair.v6_prefix)
+        for result in refined:
+            assert result.v4_prefix.length <= 24
+            assert result.v6_prefix.length <= 96
+
+    def test_tie_break_prefers_depth(self):
+        # Single domain: J stays 1 all the way down; the tuner must
+        # descend to the exact thresholds rather than stopping early.
+        rib = Rib()
+        rib.announce(p("5.3.0.0/20"), 1)
+        rib.announce(p("2600:300::/32"), 1)
+        snapshot = DnsSnapshot(
+            DATE,
+            [DomainObservation("deep.example.com", (addr("5.3.1.9"),), (addr("2600:300::9"),))],
+        )
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, TunerConfig(26, 100)).tune_all(siblings)
+        pair = next(iter(tuned))
+        assert pair.v4_prefix.length == 26
+        assert pair.v6_prefix.length == 100
+
+    def test_convergent_inputs_deduplicate(self):
+        # Two default pairs that tune into the same refined pair must
+        # appear once in the output set.
+        rib = Rib()
+        rib.announce(p("5.6.0.0/24"), 1)
+        rib.announce(p("2600:600::/48"), 1)
+        rib.announce(p("2600:700::/48"), 1)
+        shared6 = addr("2600:600::1")
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation("s.example.com", (addr("5.6.0.1"),), (shared6, addr("2600:700::1"))),
+            ],
+        )
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        assert len(siblings) == 2  # ties kept at detection time
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        keys = [(q.v4_prefix, q.v6_prefix) for q in tuned]
+        assert len(keys) == len(set(keys))
+
+    def test_branch_pairs_have_nonzero_similarity(self):
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        assert all(pair.similarity > 0.0 for pair in tuned)
+        assert all(pair.shared_domains for pair in tuned)
+
+    def test_tuner_is_idempotent_on_output_prefixes(self):
+        # Re-tuning an already tuned pair must not widen or change it
+        # when the thresholds are unchanged.
+        snapshot, annotator, _ = shared_v4_world()
+        siblings, index = detect_with_index(snapshot, annotator)
+        tuner = SpTunerMS(index, DEFAULT_CONFIG)
+        tuned = tuner.tune_all(siblings)
+        retuned = tuner.tune_all(tuned)
+        assert {(q.v4_prefix, q.v6_prefix, q.similarity) for q in retuned} == {
+            (q.v4_prefix, q.v6_prefix, q.similarity) for q in tuned
+        }

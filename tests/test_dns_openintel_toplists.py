@@ -1,0 +1,183 @@
+"""Tests for snapshots, series, toplist schedule, and the calendar."""
+
+import datetime
+
+import pytest
+
+from repro.dates import (
+    REFERENCE_DATE,
+    add_months,
+    month_range,
+    months_between,
+    second_wednesday,
+    snapshot_dates,
+)
+from repro.dns.openintel import DnsSnapshot, DomainObservation, SnapshotSeries
+from repro.dns.records import ResourceRecord
+from repro.dns.toplists import (
+    FR_CCTLD_ADDED,
+    Toplist,
+    ToplistSchedule,
+    ToplistWindow,
+)
+from repro.dns.zone import Zone
+from repro.nettypes.addr import parse_ipv4, parse_ipv6
+
+
+class TestCalendar:
+    def test_second_wednesday_examples(self):
+        # September 11, 2024 is the paper's reference snapshot date.
+        assert second_wednesday(2024, 9) == datetime.date(2024, 9, 11)
+        assert second_wednesday(2020, 9) == datetime.date(2020, 9, 9)
+        assert REFERENCE_DATE == datetime.date(2024, 9, 11)
+
+    def test_49_snapshots_in_study_window(self):
+        dates = snapshot_dates()
+        assert len(dates) == 49
+        assert dates[0].year == 2020 and dates[-1].year == 2024
+        assert all(d.weekday() == 2 for d in dates)  # all Wednesdays
+        assert all(8 <= d.day <= 14 for d in dates)  # all second ones
+
+    def test_month_range_inclusive(self):
+        months = list(month_range((2020, 11), (2021, 2)))
+        assert months == [(2020, 11), (2020, 12), (2021, 1), (2021, 2)]
+
+    def test_months_between(self):
+        assert months_between(datetime.date(2020, 9, 9), REFERENCE_DATE) == 48
+
+    def test_add_months_clamps(self):
+        assert add_months(datetime.date(2024, 1, 31), 1) == datetime.date(2024, 2, 29)
+        assert add_months(datetime.date(2024, 3, 15), -12) == datetime.date(2023, 3, 15)
+
+
+class TestSnapshot:
+    def build_zone(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("ds.example.com", parse_ipv4("192.0.2.1")))
+        zone.add(ResourceRecord.aaaa("ds.example.com", parse_ipv6("2001:db8::1")))
+        zone.add(ResourceRecord.a("v4.example.com", parse_ipv4("192.0.2.2")))
+        zone.add(ResourceRecord.cname("alias.example.com", "ds.example.com"))
+        return zone
+
+    def test_measure_groups_by_final_name(self):
+        snapshot = DnsSnapshot.measure(
+            self.build_zone(),
+            ["ds.example.com", "alias.example.com", "v4.example.com", "gone.example.com"],
+            datetime.date(2024, 9, 11),
+        )
+        # alias converges onto ds.example.com; gone resolves to nothing.
+        assert snapshot.domain_count == 2
+        assert snapshot.dual_stack_count == 1
+        assert snapshot.get("alias.example.com") is None
+        ds = snapshot.get("ds.example.com")
+        assert ds is not None and ds.is_dual_stack
+
+    def test_merge_on_convergence(self):
+        zone = self.build_zone()
+        zone.add(ResourceRecord.cname("other.example.net", "ds.example.com"))
+        snapshot = DnsSnapshot.measure(
+            zone, ["alias.example.com", "other.example.net"], datetime.date(2024, 9, 11)
+        )
+        assert snapshot.domain_count == 1
+
+    def test_dual_stack_share(self):
+        snapshot = DnsSnapshot.measure(
+            self.build_zone(),
+            ["ds.example.com", "v4.example.com"],
+            datetime.date(2024, 9, 11),
+        )
+        assert snapshot.dual_stack_share == pytest.approx(0.5)
+
+    def test_unique_addresses(self):
+        snapshot = DnsSnapshot.measure(
+            self.build_zone(),
+            ["ds.example.com", "v4.example.com"],
+            datetime.date(2024, 9, 11),
+        )
+        v4, v6 = snapshot.unique_addresses()
+        assert len(v4) == 2 and len(v6) == 1
+
+    def test_observation_properties(self):
+        both = DomainObservation("a.example.com", (1,), (2,))
+        v4only = DomainObservation("b.example.com", (1,), ())
+        neither = DomainObservation("c.example.com", (), ())
+        assert both.is_dual_stack and both.has_any_address
+        assert not v4only.is_dual_stack and v4only.has_any_address
+        assert not neither.has_any_address
+
+
+class TestSeries:
+    def make(self, *dates):
+        return SnapshotSeries(DnsSnapshot(d) for d in dates)
+
+    def test_ordering_and_access(self):
+        d1, d2 = datetime.date(2023, 1, 11), datetime.date(2024, 1, 10)
+        series = self.make(d2, d1)
+        assert series.dates() == [d1, d2]
+        assert series.at(d1).date == d1
+        assert series.latest().date == d2
+        assert len(series) == 2
+        assert d1 in series
+
+    def test_duplicate_rejected(self):
+        d = datetime.date(2024, 1, 10)
+        series = self.make(d)
+        with pytest.raises(ValueError):
+            series.add(DnsSnapshot(d))
+
+    def test_nearest(self):
+        d1, d2 = datetime.date(2024, 1, 10), datetime.date(2024, 3, 13)
+        series = self.make(d1, d2)
+        assert series.nearest(datetime.date(2024, 1, 20)).date == d1
+        assert series.nearest(datetime.date(2024, 3, 1)).date == d2
+        assert series.nearest(datetime.date(2020, 1, 1)).date == d1
+
+    def test_empty_series_errors(self):
+        series = SnapshotSeries()
+        with pytest.raises(LookupError):
+            series.latest()
+        with pytest.raises(LookupError):
+            series.nearest(datetime.date(2024, 1, 1))
+
+
+class TestToplistSchedule:
+    def test_paper_events(self):
+        schedule = ToplistSchedule()
+        sep_2020 = datetime.date(2020, 9, 9)
+        active = schedule.active(sep_2020)
+        assert Toplist.ALEXA in active and Toplist.UMBRELLA in active
+        assert Toplist.TRANCO not in active
+        assert Toplist.CLOUDFLARE_RADAR not in active
+
+    def test_tranco_added_sept_2022(self):
+        schedule = ToplistSchedule()
+        assert Toplist.TRANCO not in schedule.active(datetime.date(2022, 8, 10))
+        assert Toplist.TRANCO in schedule.active(datetime.date(2022, 9, 14))
+
+    def test_alexa_removed_may_2023(self):
+        schedule = ToplistSchedule()
+        assert Toplist.ALEXA in schedule.active(datetime.date(2023, 4, 12))
+        assert Toplist.ALEXA not in schedule.active(datetime.date(2023, 5, 10))
+
+    def test_events_sorted(self):
+        events = ToplistSchedule().events()
+        assert events == sorted(events)
+        assert any(".fr" in desc for _, desc in events)
+        assert FR_CCTLD_ADDED == datetime.date(2022, 8, 1)
+
+    def test_window_for(self):
+        schedule = ToplistSchedule()
+        window = schedule.window_for(Toplist.ALEXA)
+        assert window.removed == datetime.date(2023, 5, 1)
+        with pytest.raises(KeyError):
+            ToplistSchedule(windows=()).window_for(Toplist.ALEXA)
+
+    def test_custom_window(self):
+        window = ToplistWindow(
+            Toplist.TRANCO,
+            added=datetime.date(2022, 1, 1),
+            removed=datetime.date(2023, 1, 1),
+        )
+        assert not window.active_on(datetime.date(2021, 12, 31))
+        assert window.active_on(datetime.date(2022, 6, 1))
+        assert not window.active_on(datetime.date(2023, 1, 1))

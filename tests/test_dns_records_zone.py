@@ -1,0 +1,102 @@
+"""Tests for DNS records and zone data rules."""
+
+import pytest
+
+from repro.dns.records import ResourceRecord, RRType, normalize_name, validate_name
+from repro.dns.zone import Zone, ZoneError
+from repro.nettypes.addr import IPV4, IPV6, parse_ipv4, parse_ipv6
+
+
+class TestRecords:
+    def test_a_record(self):
+        r = ResourceRecord.a("www.Example.COM.", parse_ipv4("192.0.2.1"))
+        assert r.name == "www.example.com"
+        assert r.rrtype is RRType.A
+        assert r.address == parse_ipv4("192.0.2.1")
+
+    def test_aaaa_record(self):
+        r = ResourceRecord.aaaa("v6.example.com", parse_ipv6("2001:db8::1"))
+        assert r.rrtype.ip_version == IPV6
+
+    def test_cname_record(self):
+        r = ResourceRecord.cname("www.example.com", "CDN.example.NET")
+        assert r.target == "cdn.example.net"
+        assert r.address is None
+
+    def test_a_requires_address(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("www.example.com", RRType.A, target="x.example.com")
+
+    def test_cname_requires_target(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("www.example.com", RRType.CNAME, address=1)
+
+    def test_address_range_checked(self):
+        with pytest.raises(ValueError):
+            ResourceRecord.a("www.example.com", 2**32)
+
+    def test_rrtype_properties(self):
+        assert RRType.A.is_address and RRType.AAAA.is_address
+        assert not RRType.CNAME.is_address
+        assert RRType.A.ip_version == IPV4
+        with pytest.raises(ValueError):
+            _ = RRType.CNAME.ip_version
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", ".", "-bad.example.com", "bad-.example.com", "ex ample.com", "a" * 64 + ".com"],
+    )
+    def test_validate_name_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_name(bad)
+
+    def test_normalize(self):
+        assert normalize_name("WWW.Example.Com.") == "www.example.com"
+
+
+class TestZone:
+    def test_add_and_query(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("a.example.com", 1))
+        zone.add(ResourceRecord.aaaa("a.example.com", 2))
+        assert len(zone.records("a.example.com")) == 2
+        assert len(zone.records("a.example.com", RRType.A)) == 1
+        assert "a.example.com" in zone
+        assert "b.example.com" not in zone
+
+    def test_duplicate_records_deduped(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("a.example.com", 1))
+        zone.add(ResourceRecord.a("a.example.com", 1))
+        assert zone.record_count() == 1
+
+    def test_cname_exclusivity(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("a.example.com", 1))
+        with pytest.raises(ZoneError):
+            zone.add(ResourceRecord.cname("a.example.com", "b.example.com"))
+        zone.add(ResourceRecord.cname("c.example.com", "b.example.com"))
+        with pytest.raises(ZoneError):
+            zone.add(ResourceRecord.a("c.example.com", 1))
+
+    def test_replace_addresses(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("a.example.com", 1))
+        zone.add(ResourceRecord.aaaa("a.example.com", 9))
+        zone.replace_addresses("a.example.com", RRType.A, [2, 3])
+        a_values = sorted(r.address for r in zone.records("a.example.com", RRType.A))
+        assert a_values == [2, 3]
+        # AAAA untouched.
+        assert [r.address for r in zone.records("a.example.com", RRType.AAAA)] == [9]
+
+    def test_replace_addresses_to_empty_removes_name(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("a.example.com", 1))
+        zone.replace_addresses("a.example.com", RRType.A, [])
+        assert "a.example.com" not in zone
+
+    def test_remove_name(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("a.example.com", 1))
+        zone.remove_name("A.example.com")
+        assert len(zone) == 0

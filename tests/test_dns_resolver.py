@@ -1,0 +1,81 @@
+"""Tests for the CNAME-chasing resolver."""
+
+import pytest
+
+from repro.dns.records import ResourceRecord, RRType
+from repro.dns.resolver import MAX_CHAIN_LENGTH, ResolutionStatus, Resolver
+from repro.dns.zone import Zone
+from repro.nettypes.addr import parse_ipv4, parse_ipv6
+
+
+def build_zone() -> Zone:
+    zone = Zone()
+    zone.add(ResourceRecord.a("direct.example.com", parse_ipv4("192.0.2.1")))
+    zone.add(ResourceRecord.aaaa("direct.example.com", parse_ipv6("2001:db8::1")))
+    zone.add(ResourceRecord.cname("www.example.com", "edge.cdn.example.net"))
+    zone.add(ResourceRecord.a("edge.cdn.example.net", parse_ipv4("198.51.100.7")))
+    zone.add(ResourceRecord.cname("hop1.example.com", "hop2.example.com"))
+    zone.add(ResourceRecord.cname("hop2.example.com", "direct.example.com"))
+    zone.add(ResourceRecord.cname("loop-a.example.com", "loop-b.example.com"))
+    zone.add(ResourceRecord.cname("loop-b.example.com", "loop-a.example.com"))
+    zone.add(ResourceRecord.a("v4only.example.com", parse_ipv4("203.0.113.5")))
+    return zone
+
+
+class TestResolver:
+    def test_direct_resolution(self):
+        result = Resolver(build_zone()).resolve("direct.example.com", RRType.A)
+        assert result.ok
+        assert result.final_name == "direct.example.com"
+        assert result.addresses == (parse_ipv4("192.0.2.1"),)
+        assert result.chain == ("direct.example.com",)
+
+    def test_cname_final_name_used(self):
+        # The paper uses the response name, not the queried name.
+        result = Resolver(build_zone()).resolve("www.example.com", RRType.A)
+        assert result.ok
+        assert result.final_name == "edge.cdn.example.net"
+        assert result.chain == ("www.example.com", "edge.cdn.example.net")
+
+    def test_multi_hop_chain(self):
+        result = Resolver(build_zone()).resolve("hop1.example.com", RRType.AAAA)
+        assert result.ok
+        assert result.final_name == "direct.example.com"
+        assert len(result.chain) == 3
+
+    def test_nxdomain(self):
+        result = Resolver(build_zone()).resolve("missing.example.com", RRType.A)
+        assert result.status is ResolutionStatus.NXDOMAIN
+        assert not result.ok
+
+    def test_nodata_wrong_family(self):
+        result = Resolver(build_zone()).resolve("v4only.example.com", RRType.AAAA)
+        assert result.status is ResolutionStatus.NO_DATA
+        assert result.final_name == "v4only.example.com"
+
+    def test_loop_detection(self):
+        result = Resolver(build_zone()).resolve("loop-a.example.com", RRType.A)
+        assert result.status is ResolutionStatus.CHAIN_LOOP
+
+    def test_chain_length_cap(self):
+        zone = Zone()
+        for i in range(MAX_CHAIN_LENGTH + 2):
+            zone.add(ResourceRecord.cname(f"h{i}.example.com", f"h{i+1}.example.com"))
+        result = Resolver(zone).resolve("h0.example.com", RRType.A)
+        assert result.status is ResolutionStatus.CHAIN_TOO_LONG
+
+    def test_dual_stack_helper(self):
+        a, aaaa = Resolver(build_zone()).resolve_dual_stack("direct.example.com")
+        assert a.ok and aaaa.ok
+        assert a.rrtype is RRType.A and aaaa.rrtype is RRType.AAAA
+
+    def test_rejects_cname_query(self):
+        with pytest.raises(ValueError):
+            Resolver(build_zone()).resolve("www.example.com", RRType.CNAME)
+
+    def test_addresses_sorted(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("multi.example.com", parse_ipv4("203.0.113.9")))
+        zone.add(ResourceRecord.a("multi.example.com", parse_ipv4("192.0.2.1")))
+        result = Resolver(zone).resolve("multi.example.com", RRType.A)
+        assert list(result.addresses) == sorted(result.addresses)

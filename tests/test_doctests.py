@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.dns.zone
+import repro.nettypes.prefix
+import repro.nettypes.sets
+import repro.nettypes.trie
+
+MODULES = (
+    repro.nettypes.prefix,
+    repro.nettypes.trie,
+    repro.nettypes.sets,
+    repro.dns.zone,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

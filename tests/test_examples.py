@@ -1,0 +1,36 @@
+"""Every example script must run end to end (on the tiny scenario)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: (script, argv) — scripts accepting a scenario argument get "tiny".
+EXAMPLES = (
+    ("quickstart.py", ["tiny"]),
+    ("blocklist_transfer.py", []),
+    ("cdn_analysis.py", ["tiny"]),
+    ("rpki_monitor.py", []),
+    ("threshold_tuning.py", []),
+    ("longitudinal_study.py", []),
+    ("geolocation_transfer.py", []),
+)
+
+
+@pytest.mark.parametrize("script,argv", EXAMPLES, ids=[s for s, _ in EXAMPLES])
+def test_example_runs(script, argv, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [str(path)] + argv)
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_at_least_three_examples_exist():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py").exists()

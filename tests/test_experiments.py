@@ -1,0 +1,102 @@
+"""Tests for the experiment registry — every figure runner must work."""
+
+import pytest
+
+from repro.core.sptuner import ROUTABLE_CONFIG
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+
+#: Experiments cheap enough to execute on the tiny universe in tests.
+FAST_EXPERIMENTS = (
+    "fig02",
+    "fig05",
+    "fig08",
+    "fig13",
+    "fig16",
+    "fig17",
+    "fig22",
+    "sec35",
+    "sec42",
+    "setpairs",
+    "inputs",
+    "ablation_bestmatch",
+    "ablation_branches",
+)
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        expected = {
+            "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18", "fig22", "sec35", "sec42",
+            "ablation_bestmatch", "ablation_branches",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self, tiny_universe):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", tiny_universe)
+
+    @pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+    def test_runner_produces_result(self, tiny_universe, experiment_id):
+        result = run_experiment(experiment_id, tiny_universe)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.text.strip()
+        assert result.key_values
+        assert all(isinstance(v, float) for v in result.key_values.values())
+        assert result.summary_lines()
+
+
+class TestHeadlineShapes:
+    """The paper's qualitative claims must hold on the tiny universe."""
+
+    def test_fig02_overlap_saturates(self, tiny_universe):
+        result = run_experiment("fig02", tiny_universe)
+        assert result.key_values["overlap_share_at_1"] > 0.85  # paper: >90%
+        assert (
+            result.key_values["overlap_share_at_1"]
+            > result.key_values["jaccard_share_at_1"]
+        )
+
+    def test_fig05_tuning_ladder(self, tiny_universe):
+        result = run_experiment("fig05", tiny_universe)
+        assert (
+            result.key_values["default_perfect_share"]
+            < result.key_values["routable_perfect_share"]
+            < result.key_values["deep_perfect_share"]
+        )
+        # Paper: 52% → 82%; we require the same coarse window.
+        assert 0.35 < result.key_values["default_perfect_share"] < 0.70
+        assert 0.70 < result.key_values["deep_perfect_share"] < 0.95
+
+    def test_fig22_ls_is_a_no_op(self, tiny_universe):
+        result = run_experiment("fig22", tiny_universe)
+        assert result.key_values["bounded_mean"] == pytest.approx(
+            result.key_values["default_mean"], abs=0.01
+        )
+
+    def test_sec42_prefix_count_direction(self, tiny_universe):
+        result = run_experiment("sec42", tiny_universe)
+        assert result.key_values["v4_more_than_v6"] == 1.0
+        assert result.key_values["same_org_share"] > 0.5
+
+    def test_sec35_coverage_bands(self, tiny_universe):
+        result = run_experiment("sec35", tiny_universe)
+        assert 0.25 < result.key_values["fully_covered_share"] < 0.65
+        assert result.key_values["best_match_share"] > 0.6
+        assert result.key_values["deployment_recall"] > 0.7
+
+    def test_ablation_bestmatch_mode_ordering(self, tiny_universe):
+        result = run_experiment("ablation_bestmatch", tiny_universe)
+        assert result.key_values["pairs_both"] <= result.key_values["pairs_v4"]
+        assert result.key_values["pairs_v4"] <= result.key_values["pairs_either"]
+        assert result.key_values["pairs_both"] <= result.key_values["pairs_v6"]
+
+    def test_fig12_accepts_config(self, tiny_universe):
+        result = run_experiment("fig12", tiny_universe, config=ROUTABLE_CONFIG)
+        assert result.key_values["perfect_Day_0"] > 0.0

@@ -1,0 +1,185 @@
+"""Failure injection: the pipeline must degrade gracefully, not crash."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.rib import Rib
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.detection import detect_siblings, detect_with_index
+from repro.core.longitudinal import classify_changes
+from repro.core.siblings import SiblingSet
+from repro.core.sensitivity import sweep_thresholds
+from repro.core.sptuner import DEFAULT_CONFIG, SpTunerMS
+from repro.dns.openintel import DnsSnapshot, DomainObservation
+from repro.nettypes.prefix import Prefix
+
+DATE = datetime.date(2024, 9, 11)
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def addr(text):
+    return Prefix.parse(text).value
+
+
+class TestEmptyAndDegenerateInputs:
+    def test_empty_snapshot(self):
+        annotator = PrefixAnnotator(Rib(), missing_fraction=0.0)
+        siblings = detect_siblings(DnsSnapshot(DATE), annotator)
+        assert len(siblings) == 0
+        assert siblings.perfect_match_share == 0.0
+        assert siblings.mean_similarity == 0.0
+        assert siblings.std_similarity == 0.0
+
+    def test_single_stack_only_snapshot(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/24"), 1)
+        snapshot = DnsSnapshot(
+            DATE, [DomainObservation("v4.example.com", (addr("5.1.0.1"),), ())]
+        )
+        annotator = PrefixAnnotator(rib, missing_fraction=0.0)
+        assert len(detect_siblings(snapshot, annotator)) == 0
+
+    def test_fully_unrouted_world(self):
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation(
+                    "d.example.com", (addr("5.1.0.1"),), (addr("2600::1"),)
+                )
+            ],
+        )
+        annotator = PrefixAnnotator(Rib(), missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        assert len(siblings) == 0
+        assert index.dropped_domains == 1
+
+    def test_total_annotation_gap_with_working_fallback(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/24"), 1)
+        rib.announce(p("2600:100::/48"), 1)
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation(
+                    "d.example.com", (addr("5.1.0.1"),), (addr("2600:100::1"),)
+                )
+            ],
+        )
+        # Primary annotations 100% missing: everything flows through the
+        # Routeviews fallback and still works.
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=1.0)
+        siblings = detect_siblings(snapshot, annotator)
+        assert len(siblings) == 1
+        assert annotator.fallback_hits == 2
+
+    def test_tuner_on_empty_sibling_set(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/24"), 1)
+        annotator = PrefixAnnotator(rib, missing_fraction=0.0)
+        _, index = detect_with_index(DnsSnapshot(DATE), annotator)
+        tuner = SpTunerMS(index, DEFAULT_CONFIG)
+        tuned = tuner.tune_all(SiblingSet(DATE))
+        assert len(tuned) == 0
+
+    def test_tuner_pair_with_no_addresses_in_tries(self):
+        annotator = PrefixAnnotator(Rib(), missing_fraction=0.0)
+        _, index = detect_with_index(DnsSnapshot(DATE), annotator)
+        tuner = SpTunerMS(index, DEFAULT_CONFIG)
+        result = tuner.tune_pair(p("5.1.0.0/24"), p("2600:100::/48"))
+        assert result == []
+
+    def test_sensitivity_sweep_on_empty(self):
+        annotator = PrefixAnnotator(Rib(), missing_fraction=0.0)
+        _, index = detect_with_index(DnsSnapshot(DATE), annotator)
+        cells = sweep_thresholds(
+            SiblingSet(DATE), index, v4_thresholds=(24,), v6_thresholds=(48,)
+        )
+        assert cells[0].pair_count == 0
+        assert cells[0].mean == 0.0
+
+    def test_change_classification_of_disjoint_sets(self):
+        from repro.core.siblings import SiblingPair
+
+        pair_a = SiblingPair(
+            p("5.1.0.0/24"), p("2600:100::/48"), 1.0, frozenset({"a"}), 1, 1
+        )
+        pair_b = SiblingPair(
+            p("5.2.0.0/24"), p("2600:200::/48"), 1.0, frozenset({"b"}), 1, 1
+        )
+        report = classify_changes(
+            SiblingSet(DATE, [pair_a]), SiblingSet(DATE, [pair_b])
+        )
+        assert len(report.new) == 1 and len(report.gone) == 1
+
+
+class TestAdversarialZoneData:
+    def test_domain_with_hundreds_of_addresses(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/16"), 1)
+        rib.announce(p("2600:100::/32"), 1)
+        v4 = tuple(addr("5.1.0.0") + i for i in range(1, 300))
+        v6 = tuple(addr("2600:100::") + i for i in range(1, 300))
+        snapshot = DnsSnapshot(DATE, [DomainObservation("big.example.com", v4, v6)])
+        annotator = PrefixAnnotator(rib, missing_fraction=0.0)
+        siblings, index = detect_with_index(snapshot, annotator)
+        assert len(siblings) == 1
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        # All addresses live in one prefix pair; tuning must not lose it.
+        assert len(tuned) >= 1
+        assert {d for q in tuned for d in q.shared_domains} == {"big.example.com"}
+
+    def test_many_prefixes_single_domain_cross_product(self):
+        # The site24x7 pattern at small scale: one domain in N x M prefixes.
+        rib = Rib()
+        observations_v4 = []
+        observations_v6 = []
+        for i in range(10):
+            prefix = Prefix.from_address(4, (5 << 24) | (i << 8), 24)
+            rib.announce(prefix, 100 + i)
+            observations_v4.append(prefix.first_address + 1)
+        for i in range(4):
+            prefix = Prefix.from_address(6, (0x2600 << 112) | (i << 80), 48)
+            rib.announce(prefix, 200 + i)
+            observations_v6.append(prefix.first_address + 1)
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation(
+                    "probe.example.com",
+                    tuple(observations_v4),
+                    tuple(observations_v6),
+                )
+            ],
+        )
+        annotator = PrefixAnnotator(rib, missing_fraction=0.0)
+        siblings = detect_siblings(snapshot, annotator)
+        # Every (v4, v6) prefix combination ties at J=1: full cross product.
+        assert len(siblings) == 40
+        assert siblings.perfect_match_share == 1.0
+
+    def test_zero_similarity_pairs_never_materialize(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/24"), 1)
+        rib.announce(p("5.2.0.0/24"), 1)
+        rib.announce(p("2600:100::/48"), 1)
+        rib.announce(p("2600:200::/48"), 1)
+        snapshot = DnsSnapshot(
+            DATE,
+            [
+                DomainObservation(
+                    "a.example.com", (addr("5.1.0.1"),), (addr("2600:100::1"),)
+                ),
+                DomainObservation(
+                    "b.example.com", (addr("5.2.0.1"),), (addr("2600:200::1"),)
+                ),
+            ],
+        )
+        annotator = PrefixAnnotator(rib, missing_fraction=0.0)
+        siblings = detect_siblings(snapshot, annotator)
+        keys = {(s.v4_prefix, s.v6_prefix) for s in siblings}
+        assert (p("5.1.0.0/24"), p("2600:200::/48")) not in keys
+        assert (p("5.2.0.0/24"), p("2600:100::/48")) not in keys

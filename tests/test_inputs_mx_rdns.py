@@ -1,0 +1,195 @@
+"""Tests for MX records, rDNS, and the alternative-input adapters."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.rib import Rib
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.inputs import (
+    compare_inputs,
+    index_from_domains,
+    index_from_mx,
+    index_from_rdns,
+    siblings_from_index,
+)
+from repro.dates import REFERENCE_DATE
+from repro.dns.records import ResourceRecord, RRType
+from repro.dns.resolver import Resolver
+from repro.dns.zone import Zone, ZoneError
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+
+DATE = datetime.date(2024, 9, 11)
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def addr(text):
+    return Prefix.parse(text).value
+
+
+class TestMxRecords:
+    def test_mx_record_construction(self):
+        record = ResourceRecord.mx("example.com", "mx1.mail.example", 10)
+        assert record.rrtype is RRType.MX
+        assert record.target == "mx1.mail.example"
+        assert record.preference == 10
+
+    def test_mx_validation(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("example.com", RRType.MX, target="mx.example")  # no pref
+        with pytest.raises(ValueError):
+            ResourceRecord("example.com", RRType.MX, address=1, preference=10)
+        with pytest.raises(ValueError):
+            ResourceRecord.mx("example.com", "mx.example", -1)
+        with pytest.raises(ValueError):
+            ResourceRecord.a("example.com", 1).__class__(
+                "example.com", RRType.A, address=1, preference=5
+            )
+
+    def test_mx_coexists_with_addresses(self):
+        zone = Zone()
+        zone.add(ResourceRecord.a("example.com", 1))
+        zone.add(ResourceRecord.mx("example.com", "mx.example", 10))
+        assert len(zone.records("example.com")) == 2
+
+    def test_mx_conflicts_with_cname(self):
+        zone = Zone()
+        zone.add(ResourceRecord.cname("alias.example.com", "real.example.com"))
+        with pytest.raises(ZoneError):
+            zone.add(ResourceRecord.mx("alias.example.com", "mx.example", 10))
+
+    def test_resolve_mx_preference_order(self):
+        zone = Zone()
+        zone.add(ResourceRecord.mx("example.com", "backup.mail.example", 20))
+        zone.add(ResourceRecord.mx("example.com", "primary.mail.example", 10))
+        exchanges = Resolver(zone).resolve_mx("example.com")
+        assert exchanges == ["primary.mail.example", "backup.mail.example"]
+
+    def test_resolve_mx_follows_cname(self):
+        zone = Zone()
+        zone.add(ResourceRecord.cname("www.example.com", "example.com"))
+        zone.add(ResourceRecord.mx("example.com", "mx.example", 10))
+        assert Resolver(zone).resolve_mx("www.example.com") == ["mx.example"]
+
+    def test_resolve_mx_loop_returns_empty(self):
+        zone = Zone()
+        zone.add(ResourceRecord.cname("a.example.com", "b.example.com"))
+        zone.add(ResourceRecord.cname("b.example.com", "a.example.com"))
+        assert Resolver(zone).resolve_mx("a.example.com") == []
+
+    def test_resolve_mx_absent(self):
+        assert Resolver(Zone()).resolve_mx("nothing.example.com") == []
+
+
+class TestMxInput:
+    def build(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/24"), 64500)
+        rib.announce(p("2600:100::/48"), 64500)
+        zone = Zone()
+        zone.add(ResourceRecord.mx("shop.example.com", "mx.host.example", 10))
+        zone.add(ResourceRecord.a("mx.host.example", addr("5.1.0.25")))
+        zone.add(ResourceRecord.aaaa("mx.host.example", addr("2600:100::25")))
+        zone.add(ResourceRecord.mx("v4mail.example.com", "legacy.host.example", 10))
+        zone.add(ResourceRecord.a("legacy.host.example", addr("5.1.0.26")))
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        return zone, annotator
+
+    def test_index_from_mx(self):
+        zone, annotator = self.build()
+        index = index_from_mx(
+            zone, ["shop.example.com", "v4mail.example.com", "missing.example.com"],
+            annotator, DATE,
+        )
+        # Only the dual-stack exchange contributes.
+        assert index.domain_count == 1
+        assert index.domains_of(p("5.1.0.0/24")) == {"shop.example.com"}
+        siblings = siblings_from_index(index)
+        assert len(siblings) == 1
+
+
+class TestRdnsInput:
+    def test_index_from_rdns(self):
+        rib = Rib()
+        rib.announce(p("5.1.0.0/24"), 64500)
+        rib.announce(p("2600:100::/48"), 64500)
+        annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+        names = {
+            (IPV4, addr("5.1.0.1")): "node-1.as64500.rev.example",
+            (IPV6, addr("2600:100::1")): "node-1.as64500.rev.example",
+            (IPV4, addr("5.1.0.2")): "node-2.as64500.rev.example",  # v4-only
+        }
+        index = index_from_rdns(names, annotator, DATE)
+        assert index.domain_count == 1
+        siblings = siblings_from_index(index)
+        assert len(siblings) == 1
+        assert next(iter(siblings)).similarity == 1.0
+
+
+class TestInputsOnUniverse:
+    @pytest.fixture(scope="class")
+    def signals(self, tiny_universe):
+        annotator = tiny_universe.annotator_at(REFERENCE_DATE)
+        domain_index = index_from_domains(
+            tiny_universe.snapshot_at(REFERENCE_DATE), annotator
+        )
+        mx_index = index_from_mx(
+            tiny_universe.zone_at(REFERENCE_DATE),
+            tiny_universe.queried_names_at(REFERENCE_DATE),
+            annotator,
+            REFERENCE_DATE,
+        )
+        rdns_index = index_from_rdns(
+            tiny_universe.rdns_inventory(REFERENCE_DATE), annotator, REFERENCE_DATE
+        )
+        return (
+            siblings_from_index(domain_index),
+            siblings_from_index(mx_index),
+            siblings_from_index(rdns_index),
+        )
+
+    def test_all_signals_detect_siblings(self, signals):
+        domains, mx, rdns = signals
+        assert len(domains) > len(mx) > 0
+        assert len(rdns) > 0
+
+    def test_mx_confirms_domain_pairs(self, signals):
+        domains, mx, _ = signals
+        agreement = compare_inputs("mx", mx, "domains", domains)
+        assert agreement.compatibility_share > 0.4
+        assert agreement.pairs_a == len(mx)
+
+    def test_rdns_confirms_domain_pairs(self, signals):
+        domains, _, rdns = signals
+        agreement = compare_inputs("rdns", rdns, "domains", domains)
+        assert agreement.compatibility_share > 0.5
+
+    def test_mx_zone_records_exist(self, tiny_universe):
+        zone = tiny_universe.zone_at(REFERENCE_DATE)
+        mx_records = [
+            r
+            for name in zone.names()
+            for r in zone.records(name, RRType.MX)
+        ]
+        assert mx_records
+        # Exchange hosts resolve on both families.
+        resolver = Resolver(zone)
+        target = mx_records[0].target
+        result_a, result_aaaa = resolver.resolve_dual_stack(target)
+        assert result_a.ok and result_aaaa.ok
+
+    def test_rdns_inventory_shared_names(self, tiny_universe):
+        names = tiny_universe.rdns_inventory(REFERENCE_DATE)
+        assert names
+        by_name: dict[str, set[int]] = {}
+        for (version, _), name in names.items():
+            by_name.setdefault(name, set()).add(version)
+        dual = [n for n, versions in by_name.items() if versions == {IPV4, IPV6}]
+        # Dual-stack rDNS names track the dual-stack domain share (~30%),
+        # since single-stack hosts only surface one family.
+        assert len(dual) > 0.15 * len(by_name)
+        assert len(dual) > 50

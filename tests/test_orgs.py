@@ -1,0 +1,134 @@
+"""Tests for as2org, ASdb, and hypergiant/CDN registries."""
+
+import datetime
+
+import pytest
+
+from repro.orgs.as2org import CHEN_DATASET_EPOCH, As2Org, As2OrgArchive
+from repro.orgs.asdb import BUSINESS_CATEGORIES, AsdbDataset, BusinessCategory
+from repro.orgs.hypergiants import (
+    HGCDN_ORGS,
+    DeploymentStyle,
+    HgCdnClass,
+    HgCdnRegistry,
+)
+
+
+class TestAs2Org:
+    def test_assign_and_lookup(self):
+        mapping = As2Org([(64500, "ExampleNet"), (64501, "ExampleNet")])
+        assert mapping.org_of(64500) == "ExampleNet"
+        assert mapping.org_of(9999) is None
+        assert mapping.asns_of("ExampleNet") == frozenset({64500, 64501})
+
+    def test_same_org(self):
+        mapping = As2Org([(64500, "A"), (64501, "A"), (64502, "B")])
+        assert mapping.same_org(64500, 64500)  # same ASN always
+        assert mapping.same_org(64500, 64501)  # sibling ASes
+        assert not mapping.same_org(64500, 64502)
+        # Unmapped ASNs are only "same org" with themselves.
+        assert mapping.same_org(777, 777)
+        assert not mapping.same_org(777, 778)
+
+    def test_siblings(self):
+        mapping = As2Org([(64500, "A"), (64501, "A")])
+        assert mapping.siblings_of(64500) == frozenset({64500, 64501})
+        assert mapping.siblings_of(12345) == frozenset({12345})
+
+    def test_reassign_moves_org(self):
+        mapping = As2Org([(64500, "A")])
+        mapping.assign(64500, "B")
+        assert mapping.org_of(64500) == "B"
+        assert mapping.asns_of("A") == frozenset()
+        assert list(mapping.organizations()) == ["B"]
+
+    def test_invalid_asn(self):
+        with pytest.raises(ValueError):
+            As2Org([(-1, "X")])
+
+    def test_len_contains(self):
+        mapping = As2Org([(64500, "A")])
+        assert len(mapping) == 1 and 64500 in mapping
+
+
+class TestAs2OrgArchive:
+    def test_epoch_switch(self):
+        archive = As2OrgArchive()
+        caida = As2Org([(64500, "CAIDA-VIEW")])
+        chen = As2Org([(64500, "CHEN-VIEW")])
+        archive.add(datetime.date(2020, 9, 1), caida)
+        archive.add(CHEN_DATASET_EPOCH, chen)
+        assert archive.at(datetime.date(2021, 5, 1)).org_of(64500) == "CAIDA-VIEW"
+        assert archive.at(datetime.date(2023, 5, 1)).org_of(64500) == "CHEN-VIEW"
+        assert len(archive) == 2
+
+    def test_before_first_raises(self):
+        archive = As2OrgArchive()
+        archive.add(datetime.date(2020, 9, 1), As2Org())
+        with pytest.raises(LookupError):
+            archive.at(datetime.date(2019, 1, 1))
+
+    def test_duplicate_rejected(self):
+        archive = As2OrgArchive()
+        archive.add(datetime.date(2020, 9, 1), As2Org())
+        with pytest.raises(ValueError):
+            archive.add(datetime.date(2020, 9, 1), As2Org())
+
+
+class TestAsdb:
+    def test_seventeen_categories(self):
+        assert len(BUSINESS_CATEGORIES) == 17
+        assert BusinessCategory.IT in BUSINESS_CATEGORIES
+
+    def test_classify_and_query(self):
+        dataset = AsdbDataset([(64500, [BusinessCategory.IT])])
+        assert dataset.categories_of(64500) == frozenset({BusinessCategory.IT})
+        assert dataset.categories_of(1) == frozenset()
+        assert 64500 in dataset and len(dataset) == 1
+
+    def test_single_category_filter(self):
+        dataset = AsdbDataset(
+            [
+                (1, [BusinessCategory.IT]),
+                (2, [BusinessCategory.IT, BusinessCategory.FINANCE]),
+            ]
+        )
+        assert dataset.single_category_of(1) is BusinessCategory.IT
+        assert dataset.single_category_of(2) is None
+        assert dataset.single_category_of(3) is None
+        assert dataset.single_category_share() == pytest.approx(0.5)
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError):
+            AsdbDataset([(1, [])])
+
+
+class TestHgCdn:
+    def test_paper_has_24_orgs(self):
+        assert len(HGCDN_ORGS) == 24
+
+    def test_registry_membership(self):
+        registry = HgCdnRegistry()
+        assert registry.is_hgcdn("Amazon")
+        assert "Cloudflare" in registry
+        assert not registry.is_hgcdn("Tiny ISP 42")
+        assert registry.get("Nobody") is None
+
+    def test_classifications(self):
+        registry = HgCdnRegistry()
+        assert registry.classification("Facebook") is HgCdnClass.HYPERGIANT
+        assert registry.classification("Fastly") is HgCdnClass.CDN
+        assert registry.classification("Google") is HgCdnClass.BOTH
+        assert registry.classification("Nobody") is None
+
+    def test_agility_styles_match_paper(self):
+        # Cloudflare and Akamai are the low-Jaccard agility networks.
+        registry = HgCdnRegistry()
+        assert registry.get("Cloudflare").style is DeploymentStyle.AGILITY
+        assert registry.get("Akamai").style is DeploymentStyle.AGILITY
+        assert registry.get("Google").style is DeploymentStyle.ALIGNED
+
+    def test_weight_order(self):
+        by_weight = HgCdnRegistry().by_weight()
+        assert by_weight[0].name == "Amazon"
+        assert by_weight[-1].name == "Internap"

@@ -1,0 +1,143 @@
+"""Tests for the published-list format and the CLI."""
+
+import io
+
+import pytest
+
+from repro import publish
+from repro.analysis.pipeline import detect_at
+from repro.cli import main
+from repro.dates import REFERENCE_DATE
+from repro.nettypes.prefix import Prefix
+
+
+@pytest.fixture(scope="module")
+def published(tiny_universe):
+    siblings, _ = detect_at(tiny_universe, REFERENCE_DATE)
+    return publish.enrich_pairs(tiny_universe, siblings, REFERENCE_DATE)
+
+
+class TestPublish:
+    def test_enrichment(self, published):
+        assert published
+        assert all(0.0 < pair.jaccard <= 1.0 for pair in published)
+        assert any(pair.same_org for pair in published)
+        assert any(pair.same_org is False for pair in published)
+        # Sorted deterministically.
+        keys = [(pair.v4_prefix, pair.v6_prefix) for pair in published]
+        assert keys == sorted(keys)
+
+    def test_csv_roundtrip(self, published):
+        stream = io.StringIO()
+        count = publish.write_csv(published, stream, REFERENCE_DATE)
+        assert count == len(published)
+        stream.seek(0)
+        loaded = publish.read_csv(stream)
+        assert len(loaded) == len(published)
+        assert loaded[0].v4_prefix == published[0].v4_prefix
+        assert loaded[0].jaccard == pytest.approx(published[0].jaccard, abs=1e-6)
+        assert loaded[0].same_org == published[0].same_org
+
+    def test_csv_header_comment(self, published):
+        stream = io.StringIO()
+        publish.write_csv(published, stream, REFERENCE_DATE)
+        first_line = stream.getvalue().splitlines()[0]
+        assert first_line.startswith("# sibling-prefixes list v1")
+        assert "2024-09-11" in first_line
+
+    def test_jsonl_roundtrip(self, published):
+        stream = io.StringIO()
+        publish.write_jsonl(published, stream, REFERENCE_DATE)
+        stream.seek(0)
+        meta, loaded = publish.read_jsonl(stream)
+        assert meta["pairs"] == len(published)
+        assert meta["format_version"] == publish.FORMAT_VERSION
+        assert {str(pair.v6_prefix) for pair in loaded} == {
+            str(pair.v6_prefix) for pair in published
+        }
+
+    def test_jsonl_empty(self):
+        meta, pairs = publish.read_jsonl(io.StringIO())
+        assert meta == {} and pairs == []
+
+    def test_rov_enrichment(self, tiny_universe):
+        from repro.rpki.builder import repository_from_universe
+
+        siblings, _ = detect_at(tiny_universe, REFERENCE_DATE)
+        repository = repository_from_universe(tiny_universe)
+        enriched = publish.enrich_pairs(
+            tiny_universe, siblings, REFERENCE_DATE, repository
+        )
+        statuses = {pair.rov_status for pair in enriched}
+        assert "both valid" in statuses or "valid + not found" in statuses
+
+
+class TestCli:
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "paper" in out
+
+    def test_detect_table(self, capsys):
+        assert main(["detect", "--scenario", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "sibling pairs" in out
+        assert "same-org" in out
+
+    def test_detect_csv_and_lookup(self, tmp_path, capsys):
+        list_file = tmp_path / "siblings.csv"
+        assert (
+            main(
+                [
+                    "detect",
+                    "--scenario",
+                    "tiny",
+                    "--format",
+                    "csv",
+                    "-o",
+                    str(list_file),
+                ]
+            )
+            == 0
+        )
+        content = list_file.read_text()
+        assert content.startswith("# sibling-prefixes list")
+        # Look up the first listed v4 prefix.
+        first = publish.read_csv(io.StringIO(content))[0]
+        assert main(["lookup", str(list_file), str(first.v4_prefix)]) == 0
+        out = capsys.readouterr().out
+        assert str(first.v4_prefix) in out
+
+    def test_lookup_miss(self, tmp_path, capsys):
+        list_file = tmp_path / "siblings.csv"
+        main(["detect", "--scenario", "tiny", "--format", "csv", "-o", str(list_file)])
+        capsys.readouterr()
+        assert main(["lookup", str(list_file), "203.0.113.0/24"]) == 1
+
+    def test_detect_tuned_min_jaccard(self, capsys):
+        assert (
+            main(
+                [
+                    "detect",
+                    "--scenario",
+                    "tiny",
+                    "--tune",
+                    "28,96",
+                    "--min-jaccard",
+                    "0.999",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "perfect: 100.0%" in out
+
+    def test_bad_tune_value(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "--tune", "nonsense"])
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "sec42", "--scenario", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "sibling pairs" in out
+        assert "same_org_share" in out

@@ -1,0 +1,59 @@
+"""Tests for detection-quality scoring against ground truth."""
+
+import pytest
+
+from repro.core.quality import DetectionQuality, evaluate_quality
+from repro.core.siblings import SiblingSet
+from repro.core.sptuner import DEFAULT_CONFIG, SpTunerMS
+from repro.dates import REFERENCE_DATE
+
+
+class TestDetectionQuality:
+    def test_default_detection_quality(self, tiny_universe, tiny_detection):
+        siblings, _ = tiny_detection
+        quality = evaluate_quality(tiny_universe, siblings, REFERENCE_DATE)
+        assert quality.detectable_deployments > 0
+        # DNS-visible deployments are nearly all recalled (the residual
+        # is noisy deployments whose only visible domain points into a
+        # foreign sink — their intended v6 block truly is undetectable).
+        assert quality.recall > 0.85
+        # Every detected pair must be explained by some ground-truth
+        # structure — spurious pairs would indicate a pipeline bug.
+        assert quality.precision_proxy > 0.99
+
+    def test_tuned_detection_quality_not_worse(self, tiny_universe, tiny_detection):
+        siblings, index = tiny_detection
+        tuned = SpTunerMS(index, DEFAULT_CONFIG).tune_all(siblings)
+        base = evaluate_quality(tiny_universe, siblings, REFERENCE_DATE)
+        refined = evaluate_quality(tiny_universe, tuned, REFERENCE_DATE)
+        assert refined.recall >= base.recall - 0.05
+        assert refined.precision_proxy > 0.95
+
+    def test_empty_sibling_set(self, tiny_universe):
+        quality = evaluate_quality(
+            tiny_universe, SiblingSet(REFERENCE_DATE), REFERENCE_DATE
+        )
+        assert quality.recall == 0.0
+        assert quality.precision_proxy == 0.0
+        assert quality.recalled_deployments == 0
+
+    def test_undetectable_deployments_counted(self, tiny_universe, tiny_detection):
+        siblings, _ = tiny_detection
+        quality = evaluate_quality(tiny_universe, siblings, REFERENCE_DATE)
+        total = quality.detectable_deployments + quality.undetectable_deployments
+        assert total == len(tiny_universe.ground_truth_deployments(REFERENCE_DATE))
+        # Some deployments genuinely have no visible DS domain that day.
+        assert quality.undetectable_deployments > 0
+
+    def test_dataclass_properties(self):
+        quality = DetectionQuality(
+            detectable_deployments=10,
+            recalled_deployments=9,
+            undetectable_deployments=2,
+            total_pairs=20,
+            explained_pairs=19,
+        )
+        assert quality.recall == pytest.approx(0.9)
+        assert quality.precision_proxy == pytest.approx(0.95)
+        empty = DetectionQuality(0, 0, 0, 0, 0)
+        assert empty.recall == 0.0 and empty.precision_proxy == 0.0

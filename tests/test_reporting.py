@@ -1,0 +1,127 @@
+"""Tests for reporting containers and text rendering."""
+
+import datetime
+
+import pytest
+
+from repro.reporting.containers import (
+    EcdfSeries,
+    Heatmap,
+    StackedArea,
+    TimeSeries,
+    ecdf,
+    percentile,
+)
+from repro.reporting.tables import (
+    format_ecdf_summary,
+    format_heatmap,
+    format_stacked_area,
+    format_timeseries,
+)
+
+D1 = datetime.date(2024, 1, 10)
+D2 = datetime.date(2024, 2, 14)
+
+
+class TestEcdf:
+    def test_fractions(self):
+        series = EcdfSeries("test", [0.0, 0.5, 0.5, 1.0])
+        assert series.fraction_at_most(0.5) == pytest.approx(0.75)
+        assert series.fraction_below(0.5) == pytest.approx(0.25)
+        assert series.share_equal(0.5) == pytest.approx(0.5)
+        assert series.share_equal(1.0) == pytest.approx(0.25)
+
+    def test_quantiles(self):
+        series = ecdf("q", [3, 1, 2, 4])
+        assert series.median in (2, 3)
+        assert series.quantile(0.0) == 1
+        assert series.mean == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            series.quantile(1.5)
+        with pytest.raises(ValueError):
+            EcdfSeries("empty").quantile(0.5)
+
+    def test_empty(self):
+        series = EcdfSeries("empty")
+        assert series.fraction_at_most(1.0) == 0.0
+        assert len(series) == 0
+
+    def test_percentile_helper(self):
+        assert percentile([5, 1, 3], 0.5) == 3
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestHeatmap:
+    def build(self):
+        return Heatmap(
+            title="t",
+            row_labels=["r1", "r2"],
+            column_labels=["c1", "c2", "c3"],
+            cells=[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]],
+        )
+
+    def test_accessors(self):
+        h = self.build()
+        assert h.cell("r2", "c3") == 6.0
+        assert h.row("r1") == [1.0, 2.0, 3.0]
+        assert h.column("c2") == [2.0, 5.0]
+        assert h.total() == 21.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Heatmap("t", ["r1"], ["c1"], [[1.0], [2.0]])
+        with pytest.raises(ValueError):
+            Heatmap("t", ["r1"], ["c1", "c2"], [[1.0]])
+
+    def test_render(self):
+        text = format_heatmap(self.build())
+        assert "t" in text and "c3" in text and "6.0" in text
+
+    def test_render_with_secondary(self):
+        h = self.build()
+        h.secondary = [[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]]
+        text = format_heatmap(h, precision=2)
+        assert "(0.10)" in text
+
+
+class TestTimeSeries:
+    def test_accessors(self):
+        ts = TimeSeries("t", [D1, D2], {"a": [1.0, 2.0]})
+        assert ts.at("a", D2) == 2.0
+        assert ts.first("a") == 1.0
+        assert ts.last("a") == 2.0
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries("t", [D1], {"a": [1.0, 2.0]})
+
+    def test_render(self):
+        text = format_timeseries(TimeSeries("title", [D1], {"a": [1.5]}))
+        assert "title" in text and "2024-01-10" in text and "1.5" in text
+
+
+class TestStackedArea:
+    def test_accessors_and_render(self):
+        area = StackedArea(
+            "t", [D1, D2], ["x", "y"], [[60.0, 40.0], [70.0, 30.0]]
+        )
+        assert area.share_at("y", D2) == 30.0
+        text = format_stacked_area(area)
+        assert "70.0" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StackedArea("t", [D1], ["x"], [[1.0], [2.0]])
+        with pytest.raises(ValueError):
+            StackedArea("t", [D1], ["x", "y"], [[1.0]])
+
+
+class TestEcdfSummaryRender:
+    def test_includes_perfect_share_column(self):
+        series = [ecdf("default", [0.5, 1.0, 1.0]), ecdf("tuned", [1.0, 1.0, 1.0])]
+        text = format_ecdf_summary(series)
+        assert "default" in text and "tuned" in text
+        assert "==1.0" in text
+        # Perfect-match shares appear: 0.667 and 1.000.
+        assert "0.667" in text and "1.000" in text

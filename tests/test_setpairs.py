@@ -1,0 +1,116 @@
+"""Tests for sibling prefix set pairs (the paper's future work)."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.rib import Rib
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.detection import detect_with_index
+from repro.core.setpairs import build_set_pairs, summarize_set_pairs
+from repro.dates import REFERENCE_DATE
+from repro.dns.openintel import DnsSnapshot, DomainObservation
+from repro.nettypes.prefix import Prefix
+
+DATE = datetime.date(2024, 9, 11)
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+def addr(text):
+    return Prefix.parse(text).value
+
+
+def fragmented_world():
+    """One IPv6 /48 whose IPv4 counterpart is fragmented into two /24s —
+    pair-level Jaccard is poor, set-level is perfect."""
+    rib = Rib()
+    rib.announce(p("5.1.0.0/24"), 64500)
+    rib.announce(p("5.2.0.0/24"), 64500)
+    rib.announce(p("2600:100::/48"), 64500)
+    observations = [
+        DomainObservation("a.example.com", (addr("5.1.0.1"),), (addr("2600:100::1"),)),
+        DomainObservation("b.example.com", (addr("5.1.0.2"),), (addr("2600:100::2"),)),
+        DomainObservation("c.example.com", (addr("5.2.0.1"),), (addr("2600:100::3"),)),
+    ]
+    snapshot = DnsSnapshot(DATE, observations)
+    annotator = PrefixAnnotator(rib, rib, missing_fraction=0.0)
+    return detect_with_index(snapshot, annotator)
+
+
+class TestSetPairs:
+    def test_fragmentation_repaired(self):
+        siblings, index = fragmented_world()
+        # Pair level: both (v4 fragment, /48) pairs are imperfect.
+        assert all(pair.similarity < 1.0 for pair in siblings)
+        set_pairs = build_set_pairs(siblings, index)
+        assert len(set_pairs) == 1
+        set_pair = set_pairs[0]
+        assert set_pair.is_fragmented
+        assert set_pair.v4_prefixes == {p("5.1.0.0/24"), p("5.2.0.0/24")}
+        assert set_pair.v6_prefixes == {p("2600:100::/48")}
+        assert set_pair.similarity == 1.0
+        assert set_pair.is_perfect
+
+    def test_independent_components_stay_separate(self):
+        siblings, index = fragmented_world()
+        # Add an unrelated perfect pair in different address space.
+        from repro.core.siblings import SiblingPair
+
+        siblings.add(
+            SiblingPair(
+                v4_prefix=p("23.0.0.0/24"),
+                v6_prefix=p("2600:900::/48"),
+                similarity=1.0,
+                shared_domains=frozenset({"z.example.com"}),
+                v4_domain_count=1,
+                v6_domain_count=1,
+            )
+        )
+        index.v4_domains[p("23.0.0.0/24")] = {"z.example.com"}
+        index.v6_domains[p("2600:900::/48")] = {"z.example.com"}
+        set_pairs = build_set_pairs(siblings, index)
+        assert len(set_pairs) == 2
+
+    def test_summary_invariants(self):
+        siblings, index = fragmented_world()
+        set_pairs = build_set_pairs(siblings, index)
+        summary = summarize_set_pairs(siblings, set_pairs)
+        assert summary.set_pair_count <= summary.pair_count
+        assert summary.set_perfect_share >= summary.pair_perfect_share
+        assert summary.set_mean >= summary.pair_mean
+        assert summary.fragmented_count == 1
+
+    def test_set_pairs_sorted_by_weight(self):
+        siblings, index = fragmented_world()
+        set_pairs = build_set_pairs(siblings, index)
+        sizes = [len(sp.shared_domains) for sp in set_pairs]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSetPairsOnUniverse:
+    def test_set_level_never_worse(self, tiny_universe, tiny_detection):
+        siblings, index = tiny_detection
+        set_pairs = build_set_pairs(siblings, index)
+        summary = summarize_set_pairs(siblings, set_pairs)
+        assert summary.set_pair_count > 0
+        assert summary.set_mean >= summary.pair_mean
+        assert summary.set_perfect_share >= summary.pair_perfect_share
+        # Fragmented components exist (shared containers guarantee them).
+        assert summary.fragmented_count > 0
+
+    def test_every_pair_lands_in_exactly_one_component(
+        self, tiny_universe, tiny_detection
+    ):
+        siblings, index = tiny_detection
+        set_pairs = build_set_pairs(siblings, index)
+        for pair in siblings:
+            owners = [
+                sp
+                for sp in set_pairs
+                if pair.v4_prefix in sp.v4_prefixes
+                and pair.v6_prefix in sp.v6_prefixes
+            ]
+            assert len(owners) == 1
