@@ -5,11 +5,16 @@ Walks the 4-year window, tracks pair counts and Jaccard stability, and
 classifies pairs into new / unchanged / changed — the Figure 9 and
 Figure 10 story in one script.
 
+The whole series runs on ONE columnar substrate instance
+(detect_series), so the interned domain table is built once and reused
+across all ten snapshots — the intended shape for longitudinal runs.
+
 Run:  python examples/longitudinal_study.py
 """
 
-from repro.analysis.pipeline import detect_at, paper_offsets
-from repro.core.longitudinal import classify_changes
+from repro.analysis.pipeline import detect_series, paper_offsets
+from repro.core.longitudinal import classify_changes, classify_series
+from repro.core.substrate import ColumnarSubstrate
 from repro.dates import REFERENCE_DATE
 from repro.synth import build_universe
 
@@ -18,17 +23,30 @@ def main() -> None:
     universe = build_universe("tiny")
     offsets = paper_offsets(REFERENCE_DATE)
 
-    print("Sibling pair counts over time:")
+    print("Sibling pair counts over time (columnar substrate, shared "
+          "intern pool):")
+    engine = ColumnarSubstrate()
+    series = detect_series(
+        universe, [date for _, date in offsets], substrate=engine
+    )
     sets = {}
-    for label, date in offsets:
-        siblings, _ = detect_at(universe, date)
+    for (label, _), (date, siblings) in zip(offsets, series):
         sets[label] = siblings
         print(
             f"  {label:<9} {date}  pairs={len(siblings):5d}  "
             f"perfect={siblings.perfect_match_share:5.1%}"
         )
+    print(
+        f"  ({engine.interned_domain_count} distinct domains interned "
+        f"across {len(series)} snapshots)"
+    )
     growth = len(sets["Day 0"]) / max(1, len(sets["Year -4"]))
     print(f"\nGrowth over four years: {growth:.2f}x (paper: ~2.1x)")
+
+    print("\nNew pairs per consecutive step:")
+    step_reports = classify_series([siblings for _, siblings in series])
+    for (label, _), report in zip(offsets[1:], step_reports):
+        print(f"  {label:<9} +{len(report.new)} new, {len(report.gone)} gone")
 
     report = classify_changes(sets["Year -4"], sets["Day 0"])
     total = report.total_current

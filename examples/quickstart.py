@@ -5,19 +5,26 @@ Builds a small synthetic Internet, runs the paper's four-step detection
 pipeline on the latest snapshot, refines the result with SP-Tuner, and
 prints the headline numbers plus a few concrete pairs.
 
-Run:  python examples/quickstart.py [scenario]
+Run:  python examples/quickstart.py [scenario] [substrate]
+
+The optional second argument picks the Step 3-4 engine: "columnar"
+(default, interned posting lists) or "reference" (the paper-literal
+dict-of-sets path).  Both produce identical results — see
+docs/ARCHITECTURE.md.
 """
 
 import sys
 
 from repro.core.detection import detect_with_index
 from repro.core.sptuner import DEFAULT_CONFIG, SpTunerMS
+from repro.core.substrate import DEFAULT_SUBSTRATE
 from repro.dates import REFERENCE_DATE
 from repro.synth import build_universe
 
 
 def main() -> None:
     scenario = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    substrate = sys.argv[2] if len(sys.argv) > 2 else DEFAULT_SUBSTRATE
     print(f"Building the {scenario!r} synthetic universe ...")
     universe = build_universe(scenario)
     print(f"  {universe}")
@@ -30,9 +37,12 @@ def main() -> None:
         f"({snapshot.dual_stack_share:.1%})"
     )
 
-    print("\nDetecting sibling prefixes (Jaccard best-match) ...")
+    print(
+        f"\nDetecting sibling prefixes (Jaccard best-match, "
+        f"{substrate} substrate) ..."
+    )
     annotator = universe.annotator_at(REFERENCE_DATE)
-    siblings, index = detect_with_index(snapshot, annotator)
+    siblings, index = detect_with_index(snapshot, annotator, substrate=substrate)
     print(
         f"  {len(siblings)} sibling pairs over "
         f"{len(siblings.unique_v4_prefixes())} IPv4 / "

@@ -1,35 +1,65 @@
-"""Pipeline plumbing shared by the analyses and benches."""
+"""Pipeline plumbing shared by the analyses and benches.
+
+All entry points accept a ``substrate=`` argument (name or
+:class:`~repro.core.substrate.Substrate` instance) and default to the
+shared columnar engine; :func:`detect_series` resolves the substrate
+once so a longitudinal run reuses one interned domain table across every
+snapshot it detects on.
+"""
 
 from __future__ import annotations
 
 import datetime
+from typing import Iterable
 
 from repro.core.detection import detect_with_index
 from repro.core.domainsets import PrefixDomainIndex
 from repro.core.siblings import SiblingSet
 from repro.core.sptuner import SpTunerMS, TunerConfig
+from repro.core.substrate import Substrate, get_substrate
 from repro.dates import add_months
 from repro.synth.universe import Universe
 
 
 def detect_at(
-    universe: Universe, date: datetime.date
+    universe: Universe,
+    date: datetime.date,
+    substrate: "str | Substrate | None" = None,
 ) -> tuple[SiblingSet, PrefixDomainIndex]:
     """Default-case (BGP-announced) sibling detection on one date."""
     snapshot = universe.snapshot_at(date)
     annotator = universe.annotator_at(date)
-    return detect_with_index(snapshot, annotator)
+    return detect_with_index(snapshot, annotator, substrate=substrate)
 
 
 def tuned_at(
     universe: Universe,
     date: datetime.date,
     config: TunerConfig = TunerConfig(),
+    substrate: "str | Substrate | None" = None,
 ) -> tuple[SiblingSet, PrefixDomainIndex]:
     """SP-Tuner-refined sibling detection on one date."""
-    siblings, index = detect_at(universe, date)
+    siblings, index = detect_at(universe, date, substrate=substrate)
     tuner = SpTunerMS(index, config)
     return tuner.tune_all(siblings), index
+
+
+def detect_series(
+    universe: Universe,
+    dates: Iterable[datetime.date],
+    substrate: "str | Substrate | None" = None,
+) -> list[tuple[datetime.date, SiblingSet]]:
+    """Detect siblings on every date, sharing one substrate instance.
+
+    The resolved substrate is threaded through all snapshots, so the
+    columnar engine interns each domain string once for the whole run
+    rather than once per date.
+    """
+    engine = get_substrate(substrate)
+    return [
+        (date, detect_at(universe, date, substrate=engine)[0])
+        for date in dates
+    ]
 
 
 def paper_offsets(

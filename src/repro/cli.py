@@ -16,6 +16,7 @@ import sys
 from typing import Sequence
 
 from repro.core.sptuner import SpTunerMS, TunerConfig
+from repro.core.substrate import DEFAULT_SUBSTRATE, SUBSTRATES
 from repro.dates import REFERENCE_DATE
 
 
@@ -44,6 +45,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument(
         "--min-jaccard", type=float, default=0.0, help="similarity floor"
+    )
+    detect.add_argument(
+        "--substrate",
+        choices=sorted(SUBSTRATES),
+        default=DEFAULT_SUBSTRATE,
+        help="Step 3-4 engine (columnar: interned posting lists; "
+        "reference: the paper-literal dict-of-sets path)",
     )
 
     experiment = sub.add_parser("experiment", help="run a per-figure experiment")
@@ -76,6 +84,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     siblings, index = detect_with_index(
         universe.snapshot_at(REFERENCE_DATE),
         universe.annotator_at(REFERENCE_DATE),
+        substrate=args.substrate,
     )
     if args.tune:
         config = _parse_thresholds(args.tune)

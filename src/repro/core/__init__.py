@@ -5,6 +5,9 @@
   and prefix grouping.
 * :mod:`repro.core.detection` — Steps 3-4: the similarity matrix and
   best-match sibling selection.
+* :mod:`repro.core.substrate` — pluggable Step 3-4 engines: the
+  paper-literal ``"reference"`` path and the interned, posting-list
+  ``"columnar"`` production engine.
 * :mod:`repro.core.siblings` — result containers.
 * :mod:`repro.core.sptuner` — the SP-Tuner algorithm, more-specific
   (Algorithm 1) and less-specific (Algorithm 2) variants.
@@ -19,22 +22,36 @@ from repro.core.longitudinal import ChangeClass, classify_changes
 from repro.core.sensitivity import SensitivityCell, sweep_thresholds
 from repro.core.siblings import SiblingPair, SiblingSet
 from repro.core.sptuner import SpTunerLS, SpTunerMS, TunerConfig
+from repro.core.substrate import (
+    DEFAULT_SUBSTRATE,
+    SUBSTRATES,
+    ColumnarSubstrate,
+    ReferenceSubstrate,
+    Substrate,
+    get_substrate,
+)
 
 __all__ = [
     "BestMatchMode",
     "ChangeClass",
+    "ColumnarSubstrate",
+    "DEFAULT_SUBSTRATE",
     "PrefixDomainIndex",
+    "ReferenceSubstrate",
     "SensitivityCell",
     "SiblingPair",
     "SiblingSet",
     "SpTunerLS",
     "SpTunerMS",
+    "Substrate",
+    "SUBSTRATES",
     "TunerConfig",
     "build_index",
     "classify_changes",
     "compute_pair_stats",
     "detect_siblings",
     "dice",
+    "get_substrate",
     "jaccard",
     "overlap_coefficient",
     "sweep_thresholds",

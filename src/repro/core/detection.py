@@ -5,12 +5,22 @@ IPv6 prefix) pair that shares at least one dual-stack domain — the sparse
 non-zero region of the paper's "Jaccard similarity matrix".  Step 4 keeps
 each prefix's best match(es), ties included; pairs with similarity 0 never
 materialize.
+
+*How* Steps 3-4 execute is delegated to a pluggable substrate
+(:mod:`repro.core.substrate`): the ``"reference"`` substrate runs the
+dict-of-sets transcription in this module
+(:func:`compute_pair_stats` + :func:`select_best_matches`), while the
+default ``"columnar"`` substrate interns domains and prefixes into dense
+ids and accumulates over packed integer keys.  Both are exact;
+:func:`detect_siblings` and :func:`detect_with_index` accept a
+``substrate=`` argument (a registry name or instance) to pick one.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.bgp.routeviews import PrefixAnnotator
 from repro.core.domainsets import PrefixDomainIndex, build_index
@@ -18,6 +28,9 @@ from repro.core.metrics import METRICS_FROM_COUNTS
 from repro.core.siblings import SiblingPair, SiblingSet
 from repro.dns.openintel import DnsSnapshot
 from repro.nettypes.prefix import Prefix
+
+if TYPE_CHECKING:  # runtime import would be circular; see substrate.py
+    from repro.core.substrate import Substrate
 
 
 class BestMatchMode(enum.Enum):
@@ -46,6 +59,7 @@ class PairStats:
     v6_domain_count: int
 
     def similarity(self, metric: str) -> float:
+        """Evaluate the named metric over this pair's counts."""
         fn = METRICS_FROM_COUNTS[metric]
         return fn(len(self.shared_domains), self.v4_domain_count, self.v6_domain_count)
 
@@ -70,7 +84,9 @@ def compute_pair_stats(index: PrefixDomainIndex) -> list[PairStats]:
     ]
 
 
-_TIE_EPSILON = 1e-12
+#: Tolerance when comparing a pair's similarity against a prefix's
+#: maximum — shared by every substrate so tie sets agree exactly.
+TIE_EPSILON = 1e-12
 
 
 def select_best_matches(
@@ -95,8 +111,8 @@ def select_best_matches(
 
     result = SiblingSet(index.date)
     for pair, value in scored:
-        is_best_v4 = value >= best_v4[pair.v4_prefix] - _TIE_EPSILON
-        is_best_v6 = value >= best_v6[pair.v6_prefix] - _TIE_EPSILON
+        is_best_v4 = value >= best_v4[pair.v4_prefix] - TIE_EPSILON
+        is_best_v6 = value >= best_v6[pair.v6_prefix] - TIE_EPSILON
         keep = {
             BestMatchMode.EITHER: is_best_v4 or is_best_v6,
             BestMatchMode.BOTH: is_best_v4 and is_best_v6,
@@ -122,15 +138,21 @@ def detect_siblings(
     annotator: PrefixAnnotator,
     metric: str = "jaccard",
     mode: BestMatchMode = BestMatchMode.EITHER,
+    substrate: "str | Substrate | None" = None,
 ) -> SiblingSet:
     """The full four-step pipeline on one snapshot.
+
+    *substrate* picks the Step 3-4 engine — a name from
+    :data:`repro.core.substrate.SUBSTRATES` or a
+    :class:`~repro.core.substrate.Substrate` instance; ``None`` means the
+    default (columnar).
 
     >>> siblings = detect_siblings(universe.snapshot_at(date),
     ...                            universe.annotator_at(date))   # doctest: +SKIP
     """
-    index = build_index(snapshot, annotator)
-    stats = compute_pair_stats(index)
-    return select_best_matches(stats, index, metric=metric, mode=mode)
+    return detect_with_index(
+        snapshot, annotator, metric=metric, mode=mode, substrate=substrate
+    )[0]
 
 
 def detect_with_index(
@@ -138,9 +160,12 @@ def detect_with_index(
     annotator: PrefixAnnotator,
     metric: str = "jaccard",
     mode: BestMatchMode = BestMatchMode.EITHER,
+    substrate: "str | Substrate | None" = None,
 ) -> tuple[SiblingSet, PrefixDomainIndex]:
     """Like :func:`detect_siblings` but also returns the index, which the
     SP-Tuner and several analyses need."""
+    from repro.core.substrate import get_substrate
+
     index = build_index(snapshot, annotator)
-    stats = compute_pair_stats(index)
-    return select_best_matches(stats, index, metric=metric, mode=mode), index
+    engine = get_substrate(substrate)
+    return engine.select(index, metric=metric, mode=mode), index

@@ -5,6 +5,12 @@ address to its BGP prefix through the annotator (with the paper's
 reserved-address discard and Routeviews fallback), and groups domains by
 prefix per family.  The resulting :class:`PrefixDomainIndex` is the input
 to both the similarity matrix (Step 3) and the SP-Tuner tries.
+
+The index itself stays a dict-of-sets; the Step 3-4 substrates
+(:mod:`repro.core.substrate`) derive their own layouts from it.  The
+columnar substrate caches its interned posting-list view directly on the
+index object (one conversion per snapshot), so repeated detection runs —
+different metrics, best-match modes, or SP-Tuner sweeps — reuse it.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ class PrefixDomainIndex:
         return len(self.v6_domains)
 
     def domains_of(self, prefix: Prefix) -> frozenset[str]:
+        """The DS domains grouped under *prefix* (empty if unknown)."""
         table = self.v4_domains if prefix.version == IPV4 else self.v6_domains
         return frozenset(table.get(prefix, ()))
 

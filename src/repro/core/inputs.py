@@ -26,8 +26,8 @@ from repro.core.domainsets import (
     build_index,
     build_index_from_entries,
 )
-from repro.core.detection import compute_pair_stats, select_best_matches
 from repro.core.siblings import SiblingSet
+from repro.core.substrate import Substrate, get_substrate
 from repro.dns.openintel import DnsSnapshot
 from repro.dns.records import RRType
 from repro.dns.resolver import Resolver
@@ -90,10 +90,11 @@ def index_from_rdns(
     return build_index_from_entries(date, sorted(entries), annotator)
 
 
-def siblings_from_index(index: PrefixDomainIndex) -> SiblingSet:
-    """Steps 3-4 over any pre-built index."""
-    stats = compute_pair_stats(index)
-    return select_best_matches(stats, index)
+def siblings_from_index(
+    index: PrefixDomainIndex, substrate: "str | Substrate | None" = None
+) -> SiblingSet:
+    """Steps 3-4 over any pre-built index, on the chosen substrate."""
+    return get_substrate(substrate).select(index)
 
 
 @dataclass(frozen=True, slots=True)

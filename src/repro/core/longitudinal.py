@@ -9,12 +9,19 @@ current one:
 * **CHANGED** — present in both with a different Jaccard value,
 * **GONE** — present then, absent now (not plotted by the paper but
   reported here for completeness).
+
+Classification compares :class:`~repro.core.siblings.SiblingSet` values
+and is substrate-agnostic; produce the snapshots with
+:func:`repro.analysis.pipeline.detect_series`, which threads one
+substrate instance through the whole run so the columnar engine reuses
+its interned domain table across snapshots.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.siblings import SiblingPair, SiblingSet
 
@@ -22,6 +29,8 @@ _JACCARD_TOLERANCE = 1e-9
 
 
 class ChangeClass(enum.Enum):
+    """The four longitudinal fates of a sibling pair (module doc)."""
+
     NEW = "new"
     UNCHANGED = "unchanged"
     CHANGED = "changed"
@@ -43,6 +52,7 @@ class ChangeReport:
         return len(self.new) + len(self.unchanged) + len(self.changed)
 
     def share(self, change_class: ChangeClass) -> float:
+        """Fraction of the current pairs in *change_class*."""
         total = self.total_current
         if total == 0:
             return 0.0
@@ -55,9 +65,11 @@ class ChangeReport:
         return counts[change_class] / total
 
     def changed_old_similarities(self) -> list[float]:
+        """Old-snapshot Jaccard values of the CHANGED pairs."""
         return [old.similarity for old, _ in self.changed]
 
     def changed_current_similarities(self) -> list[float]:
+        """Current-snapshot Jaccard values of the CHANGED pairs."""
         return [current.similarity for _, current in self.changed]
 
 
@@ -76,3 +88,15 @@ def classify_changes(old: SiblingSet, current: SiblingSet) -> ChangeReport:
         if current.get(pair.v4_prefix, pair.v6_prefix) is None:
             report.gone.append(pair)
     return report
+
+
+def classify_series(snapshots: Sequence[SiblingSet]) -> list[ChangeReport]:
+    """Classify every consecutive snapshot pair of a longitudinal run.
+
+    Returns one :class:`ChangeReport` per step, oldest first — the
+    Figure 10 walk over a whole series instead of a single lookback.
+    """
+    return [
+        classify_changes(old, current)
+        for old, current in zip(snapshots, snapshots[1:])
+    ]

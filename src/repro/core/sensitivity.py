@@ -63,6 +63,7 @@ def sweep_thresholds(
 def cell_at(
     cells: list[SensitivityCell], v4_threshold: int, v6_threshold: int
 ) -> SensitivityCell:
+    """Look up the swept cell for one threshold combination."""
     for cell in cells:
         if (cell.v4_threshold, cell.v6_threshold) == (v4_threshold, v6_threshold):
             return cell

@@ -21,8 +21,9 @@ import datetime
 from dataclasses import dataclass
 
 from repro.core.domainsets import PrefixDomainIndex
-from repro.core.metrics import jaccard
+from repro.core.metrics import jaccard_from_counts
 from repro.core.siblings import SiblingSet
+from repro.core.substrate import Substrate, get_substrate
 from repro.nettypes.prefix import Prefix
 
 
@@ -68,15 +69,20 @@ class _UnionFind:
 
 
 def build_set_pairs(
-    siblings: SiblingSet, index: PrefixDomainIndex
+    siblings: SiblingSet,
+    index: PrefixDomainIndex,
+    substrate: "str | Substrate | None" = None,
 ) -> list[SiblingSetPair]:
     """Group pairs into components and score them at set level.
 
     Components are induced by shared prefixes: if (A4, X6) and (A4, Y6)
     are both sibling pairs, then {A4} pairs with {X6, Y6} as a set.
     Domain sets are re-derived from the index so the set-level Jaccard
-    is exact, not an aggregate of pair values.
+    is exact, not an aggregate of pair values.  The union/intersection
+    work runs on the chosen substrate
+    (:meth:`~repro.core.substrate.Substrate.group_stats`).
     """
+    engine = get_substrate(substrate)
     union_find = _UnionFind()
     for pair in siblings:
         # Tag-prefix the two families so an identical value/length can
@@ -92,23 +98,21 @@ def build_set_pairs(
 
     result: list[SiblingSetPair] = []
     for v4_set, v6_set in components.values():
-        domains_v4: set[str] = set()
-        for prefix in v4_set:
-            domains_v4 |= index.domains_of(prefix)
-        domains_v6: set[str] = set()
-        for prefix in v6_set:
-            domains_v6 |= index.domains_of(prefix)
-        shared = frozenset(domains_v4 & domains_v6)
-        if not shared:
+        stats = engine.group_stats(index, v4_set, v6_set)
+        if not stats.shared_domains:
             continue
         result.append(
             SiblingSetPair(
                 v4_prefixes=frozenset(v4_set),
                 v6_prefixes=frozenset(v6_set),
-                similarity=jaccard(domains_v4, domains_v6),
-                shared_domains=shared,
-                v4_domain_count=len(domains_v4),
-                v6_domain_count=len(domains_v6),
+                similarity=jaccard_from_counts(
+                    len(stats.shared_domains),
+                    stats.v4_domain_count,
+                    stats.v6_domain_count,
+                ),
+                shared_domains=stats.shared_domains,
+                v4_domain_count=stats.v4_domain_count,
+                v6_domain_count=stats.v6_domain_count,
             )
         )
     result.sort(key=lambda sp: (-len(sp.shared_domains), -sp.similarity))

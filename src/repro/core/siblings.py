@@ -47,9 +47,11 @@ class SiblingSet:
             self.add(pair)
 
     def add(self, pair: SiblingPair) -> None:
+        """Insert *pair*, replacing any pair with the same prefixes."""
         self._pairs[pair.key] = pair
 
     def get(self, v4_prefix: Prefix, v6_prefix: Prefix) -> SiblingPair | None:
+        """The pair for exactly these prefixes, or ``None``."""
         return self._pairs.get((v4_prefix, v6_prefix))
 
     def __iter__(self) -> Iterator[SiblingPair]:
@@ -64,20 +66,25 @@ class SiblingSet:
     # -- views -----------------------------------------------------------------
 
     def pairs_of_v4(self, prefix: Prefix) -> list[SiblingPair]:
+        """Every pair whose IPv4 side is *prefix*."""
         return [p for p in self._pairs.values() if p.v4_prefix == prefix]
 
     def pairs_of_v6(self, prefix: Prefix) -> list[SiblingPair]:
+        """Every pair whose IPv6 side is *prefix*."""
         return [p for p in self._pairs.values() if p.v6_prefix == prefix]
 
     def unique_v4_prefixes(self) -> set[Prefix]:
+        """The distinct IPv4 prefixes appearing in any pair."""
         return {p.v4_prefix for p in self._pairs.values()}
 
     def unique_v6_prefixes(self) -> set[Prefix]:
+        """The distinct IPv6 prefixes appearing in any pair."""
         return {p.v6_prefix for p in self._pairs.values()}
 
     # -- statistics --------------------------------------------------------------
 
     def similarities(self) -> list[float]:
+        """All pair similarity values, in insertion order."""
         return [p.similarity for p in self._pairs.values()]
 
     @property

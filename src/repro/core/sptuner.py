@@ -238,6 +238,7 @@ class SpTunerLS:
         return not (old_route.origins & new_route.origins)
 
     def tune_pair(self, v4_prefix: Prefix, v6_prefix: Prefix) -> SiblingPair:
+        """Widen one pair supernet-by-supernet while Jaccard improves."""
         current_v4, current_v6 = v4_prefix, v6_prefix
         current = jaccard(
             self._domains_under(current_v4), self._domains_under(current_v6)
@@ -310,6 +311,7 @@ class SpTunerLS:
         )
 
     def tune_all(self, siblings: SiblingSet) -> SiblingSet:
+        """Apply the less-specific walk to every pair of *siblings*."""
         tuned = SiblingSet(siblings.date)
         for pair in siblings:
             refined = self.tune_pair(pair.v4_prefix, pair.v6_prefix)

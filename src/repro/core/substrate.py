@@ -1,0 +1,487 @@
+"""Pluggable execution substrates for Steps 3-4 of the methodology.
+
+A *substrate* is a strategy for evaluating the sparse similarity matrix
+(Step 3) and the best-match selection (Step 4) over a
+:class:`~repro.core.domainsets.PrefixDomainIndex`.  Two implementations
+ship:
+
+* ``"reference"`` — the literal dict-of-sets transcription of the paper:
+  every candidate pair materializes a Python ``set`` of shared domains
+  up front (:func:`~repro.core.detection.compute_pair_stats` followed by
+  :func:`~repro.core.detection.select_best_matches`).  Easy to audit,
+  pays per-pair object overhead.
+* ``"columnar"`` — the production engine.  Domains and prefixes are
+  interned into dense integer ids, group memberships become sorted
+  posting lists in CSR layout (``array('I')`` data + offsets), and the
+  Step 3 accumulation runs over packed 64-bit keys
+  ``(v4_row << 32) | v6_row`` so no per-pair Python containers exist.
+  Shared-domain sets materialize lazily, only for the pairs that survive
+  best-match selection.
+
+Both substrates are exact: for the same index, metric and mode they
+produce identical :class:`~repro.core.siblings.SiblingSet` contents
+(pairs, similarities, tie sets and shared-domain sets) — enforced by
+``tests/test_substrate_equivalence.py``.
+
+The columnar intern pool lives on the substrate *instance*, so passing
+one instance through a longitudinal run reuses the interned domain table
+across snapshots (see :func:`repro.analysis.pipeline.detect_series`).
+:func:`get_substrate` resolves names to a process-wide shared instance.
+"""
+
+from __future__ import annotations
+
+import abc
+from array import array
+from collections import Counter
+from typing import ClassVar, Iterable, NamedTuple
+
+from repro.core.detection import (
+    TIE_EPSILON,
+    BestMatchMode,
+    compute_pair_stats,
+    select_best_matches,
+)
+from repro.core.domainsets import PrefixDomainIndex
+from repro.core.metrics import METRICS_FROM_COUNTS
+from repro.core.siblings import SiblingPair, SiblingSet
+from repro.nettypes.prefix import Prefix
+
+_LOW32 = 0xFFFFFFFF
+
+
+class GroupStats(NamedTuple):
+    """Set-level domain statistics for a group of prefixes per family.
+
+    Produced by :meth:`Substrate.group_stats` and consumed by the
+    sibling-set-pair construction (:mod:`repro.core.setpairs`).
+    """
+
+    shared_domains: frozenset[str]
+    v4_domain_count: int
+    v6_domain_count: int
+
+
+class Substrate(abc.ABC):
+    """Strategy interface for Step 3-4 execution.
+
+    Implementations must be exact — substrates trade speed and memory
+    layout, never results.
+    """
+
+    #: Registry key, also shown in CLI help.
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def select(
+        self,
+        index: PrefixDomainIndex,
+        metric: str = "jaccard",
+        mode: BestMatchMode = BestMatchMode.EITHER,
+    ) -> SiblingSet:
+        """Run Steps 3-4 over *index* and return the sibling pairs."""
+
+    @abc.abstractmethod
+    def group_stats(
+        self,
+        index: PrefixDomainIndex,
+        v4_prefixes: Iterable[Prefix],
+        v6_prefixes: Iterable[Prefix],
+    ) -> GroupStats:
+        """Domain-set statistics for a (v4 group, v6 group) pair.
+
+        The shared set is the intersection of the families' domain
+        unions; the counts are the union sizes per family.
+        """
+
+
+class ReferenceSubstrate(Substrate):
+    """The paper-literal dict-of-sets path, kept as the oracle.
+
+    Stateless; every call re-derives everything from the index.
+    """
+
+    name = "reference"
+
+    def select(
+        self,
+        index: PrefixDomainIndex,
+        metric: str = "jaccard",
+        mode: BestMatchMode = BestMatchMode.EITHER,
+    ) -> SiblingSet:
+        """Steps 3-4 via eager :class:`~repro.core.detection.PairStats`."""
+        return select_best_matches(
+            compute_pair_stats(index), index, metric=metric, mode=mode
+        )
+
+    def group_stats(
+        self,
+        index: PrefixDomainIndex,
+        v4_prefixes: Iterable[Prefix],
+        v6_prefixes: Iterable[Prefix],
+    ) -> GroupStats:
+        """Union the per-prefix domain sets with plain Python sets."""
+        domains_v4: set[str] = set()
+        for prefix in v4_prefixes:
+            domains_v4 |= index.domains_of(prefix)
+        domains_v6: set[str] = set()
+        for prefix in v6_prefixes:
+            domains_v6 |= index.domains_of(prefix)
+        return GroupStats(
+            shared_domains=frozenset(domains_v4 & domains_v6),
+            v4_domain_count=len(domains_v4),
+            v6_domain_count=len(domains_v6),
+        )
+
+
+class _ColumnarState:
+    """Interned, columnar view of one :class:`PrefixDomainIndex`.
+
+    Built once per (index, intern pool) and cached on the index object;
+    every field is positional/flat so Step 3 touches only machine-sized
+    integers.
+    """
+
+    __slots__ = (
+        "v4_prefixes",
+        "v6_prefixes",
+        "v4_row_of",
+        "v6_row_of",
+        "v4_sizes",
+        "v6_sizes",
+        "dom_bases",
+        "dom_rows",
+        "v4_post_data",
+        "v4_post_offsets",
+        "v6_post_data",
+        "v6_post_offsets",
+        "_v4_gid_sets",
+        "_v6_gid_sets",
+    )
+
+    def __init__(self, index: PrefixDomainIndex, intern_domain) -> None:
+        # Dense per-snapshot rows for each family's prefixes.  The row,
+        # not the prefix object, is what Step 3 packs into its keys.
+        self.v4_prefixes: list[Prefix] = list(index.v4_domains)
+        self.v6_prefixes: list[Prefix] = list(index.v6_domains)
+        # v4 rows are stored premultiplied (<< 32) so the accumulation
+        # loop packs keys with a single OR.
+        self.v4_row_of = {
+            prefix: row << 32 for row, prefix in enumerate(self.v4_prefixes)
+        }
+        self.v6_row_of = {
+            prefix: row for row, prefix in enumerate(self.v6_prefixes)
+        }
+        self.v4_sizes = array("I", (len(s) for s in index.v4_domains.values()))
+        self.v6_sizes = array("I", (len(s) for s in index.v6_domains.values()))
+
+        # Per-domain membership rows — the transposed view Step 3 walks.
+        # The v6 side is looked up by domain key (not zipped positionally)
+        # so the two rows always describe the same domain even if the
+        # index dicts were populated in different orders.
+        v4_row_of = self.v4_row_of
+        v6_row_of = self.v6_row_of
+        domain_v6_prefixes = index.domain_v6_prefixes
+        self.dom_bases: list[list[int]] = []
+        self.dom_rows: list[list[int]] = []
+        for domain, v4_prefixes in index.domain_v4_prefixes.items():
+            self.dom_bases.append([v4_row_of[p] for p in v4_prefixes])
+            self.dom_rows.append(
+                [v6_row_of[p] for p in domain_v6_prefixes[domain]]
+            )
+
+        # Per-prefix domain posting lists in CSR layout: sorted global
+        # domain ids, one flat array + offsets per family.
+        self.v4_post_data, self.v4_post_offsets = _build_csr(
+            index.v4_domains.values(), intern_domain
+        )
+        self.v6_post_data, self.v6_post_offsets = _build_csr(
+            index.v6_domains.values(), intern_domain
+        )
+        # Lazy per-row frozensets of domain ids, built on first
+        # materialization of a surviving pair.
+        self._v4_gid_sets: dict[int, frozenset[int]] = {}
+        self._v6_gid_sets: dict[int, frozenset[int]] = {}
+
+    def v4_gids(self, row: int) -> frozenset[int]:
+        """Domain-id set of v4 prefix *row* (cached)."""
+        gids = self._v4_gid_sets.get(row)
+        if gids is None:
+            offsets = self.v4_post_offsets
+            gids = frozenset(self.v4_post_data[offsets[row] : offsets[row + 1]])
+            self._v4_gid_sets[row] = gids
+        return gids
+
+    def v6_gids(self, row: int) -> frozenset[int]:
+        """Domain-id set of v6 prefix *row* (cached)."""
+        gids = self._v6_gid_sets.get(row)
+        if gids is None:
+            offsets = self.v6_post_offsets
+            gids = frozenset(self.v6_post_data[offsets[row] : offsets[row + 1]])
+            self._v6_gid_sets[row] = gids
+        return gids
+
+
+def _build_csr(
+    domain_sets: Iterable[set[str]], intern_domain
+) -> tuple[array, array]:
+    """Sorted posting lists for an iterable of domain sets, CSR layout."""
+    data = array("I")
+    offsets = array("I", [0])
+    for domains in domain_sets:
+        data.extend(sorted(map(intern_domain, domains)))
+        offsets.append(len(data))
+    return data, offsets
+
+
+class ColumnarSubstrate(Substrate):
+    """Interned-id, posting-list execution of Steps 3-4.
+
+    The domain intern table persists on the instance, so reusing one
+    substrate across snapshots (longitudinal runs, SP-Tuner sweeps)
+    hashes every domain string exactly once.
+    """
+
+    name = "columnar"
+
+    _STATE_ATTR = "_columnar_state"
+
+    def __init__(self) -> None:
+        self._domain_gids: dict[str, int] = {}
+        self._domain_names: list[str] = []
+        #: Bumped by :meth:`reset_pool`; cached states from older
+        #: generations reference retired ids and must not be reused.
+        self._generation = 0
+
+    # -- interning -----------------------------------------------------------
+
+    def _intern_domain(self, domain: str) -> int:
+        """Dense id for *domain*, allocated on first sight."""
+        gid = self._domain_gids.get(domain)
+        if gid is None:
+            gid = len(self._domain_names)
+            self._domain_gids[domain] = gid
+            self._domain_names.append(domain)
+        return gid
+
+    @property
+    def interned_domain_count(self) -> int:
+        """How many distinct domains this pool has seen (all snapshots)."""
+        return len(self._domain_names)
+
+    def reset_pool(self) -> None:
+        """Drop the interned domain table.
+
+        The pool otherwise grows with every distinct domain this
+        instance ever sees — fine within one study, unbounded in a
+        long-lived process hopping across unrelated universes.  Cached
+        columnar states referencing the old ids become stale; they are
+        invalidated here so the next :meth:`prepare` rebuilds.
+        """
+        self._domain_gids = {}
+        self._domain_names = []
+        self._generation += 1
+
+    # -- state management ----------------------------------------------------
+
+    def columnarize(self, index: PrefixDomainIndex) -> _ColumnarState:
+        """Build the columnar view of *index* (no caching).
+
+        This is the Steps 1-2 conversion cost; :meth:`prepare` caches the
+        result on the index so repeated Step 3 runs don't pay it again.
+        """
+        return _ColumnarState(index, self._intern_domain)
+
+    @staticmethod
+    def _fingerprint(index: PrefixDomainIndex) -> tuple[int, ...]:
+        """Cheap staleness signature of the index's group structure."""
+        return (
+            len(index.domain_v4_prefixes),
+            len(index.v4_domains),
+            len(index.v6_domains),
+            sum(len(s) for s in index.v4_domains.values()),
+            sum(len(s) for s in index.v6_domains.values()),
+        )
+
+    def prepare(self, index: PrefixDomainIndex) -> _ColumnarState:
+        """Cached :meth:`columnarize`, keyed on this substrate's pool.
+
+        The cache is invalidated when the index's group structure counts
+        change (prefixes or memberships added/removed) — indexes are
+        otherwise treated as immutable once detection has run on them.
+        """
+        fingerprint = self._fingerprint(index)
+        cached = getattr(index, self._STATE_ATTR, None)
+        if (
+            cached is not None
+            and cached[0] is self
+            and cached[1] == self._generation
+            and cached[2] == fingerprint
+        ):
+            return cached[3]
+        state = self.columnarize(index)
+        setattr(
+            index,
+            self._STATE_ATTR,
+            (self, self._generation, fingerprint, state),
+        )
+        return state
+
+    # -- Steps 3-4 -----------------------------------------------------------
+
+    @staticmethod
+    def pair_counts(state: _ColumnarState) -> Counter:
+        """Step 3: shared-domain counts per packed ``(v4 << 32) | v6`` key.
+
+        One flat pass over the per-domain membership rows; the Counter
+        runs at C speed over plain integers.
+        """
+        packed: list[int] = []
+        append = packed.append
+        extend = packed.extend
+        for bases, rows in zip(state.dom_bases, state.dom_rows):
+            if len(bases) == 1:
+                base = bases[0]
+                if len(rows) == 1:
+                    append(base | rows[0])
+                else:
+                    extend([base | row for row in rows])
+            else:
+                for base in bases:
+                    extend([base | row for row in rows])
+        return Counter(packed)
+
+    def select(
+        self,
+        index: PrefixDomainIndex,
+        metric: str = "jaccard",
+        mode: BestMatchMode = BestMatchMode.EITHER,
+    ) -> SiblingSet:
+        """Steps 3-4 over packed keys; see the module docstring."""
+        state = self.prepare(index)
+        counts = self.pair_counts(state)
+        metric_fn = METRICS_FROM_COUNTS[metric]
+        v4_sizes = state.v4_sizes
+        v6_sizes = state.v6_sizes
+
+        best_v4: dict[int, float] = {}
+        best_v6: dict[int, float] = {}
+        best_v4_get = best_v4.get
+        best_v6_get = best_v6.get
+        scored: list[tuple[int, float]] = []
+        scored_append = scored.append
+        for key, shared in counts.items():
+            a = key >> 32
+            b = key & _LOW32
+            value = metric_fn(shared, v4_sizes[a], v6_sizes[b])
+            if value <= 0.0:
+                continue
+            scored_append((key, value))
+            if value > best_v4_get(a, 0.0):
+                best_v4[a] = value
+            if value > best_v6_get(b, 0.0):
+                best_v6[b] = value
+
+        # Specialize the keep predicate outside the per-pair loop.
+        want_v4 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V4_ONLY)
+        want_v6 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V6_ONLY)
+        need_both = mode is BestMatchMode.BOTH
+
+        result = SiblingSet(index.date)
+        v4_prefixes = state.v4_prefixes
+        v6_prefixes = state.v6_prefixes
+        names = self._domain_names
+        for key, value in scored:
+            a = key >> 32
+            b = key & _LOW32
+            is_best_v4 = want_v4 and value >= best_v4[a] - TIE_EPSILON
+            is_best_v6 = want_v6 and value >= best_v6[b] - TIE_EPSILON
+            if need_both:
+                keep = is_best_v4 and is_best_v6
+            else:
+                keep = is_best_v4 or is_best_v6
+            if not keep:
+                continue
+            # Lazy materialization: only surviving pairs intersect their
+            # posting lists and map ids back to domain strings.
+            gids_a = state.v4_gids(a)
+            gids_b = state.v6_gids(b)
+            result.add(
+                SiblingPair(
+                    v4_prefix=v4_prefixes[a],
+                    v6_prefix=v6_prefixes[b],
+                    similarity=value,
+                    shared_domains=frozenset(
+                        map(names.__getitem__, gids_a & gids_b)
+                    ),
+                    v4_domain_count=v4_sizes[a],
+                    v6_domain_count=v6_sizes[b],
+                )
+            )
+        return result
+
+    def group_stats(
+        self,
+        index: PrefixDomainIndex,
+        v4_prefixes: Iterable[Prefix],
+        v6_prefixes: Iterable[Prefix],
+    ) -> GroupStats:
+        """Union the posting lists in id space, intersect, map back."""
+        state = self.prepare(index)
+        gids_v4: set[int] = set()
+        for prefix in v4_prefixes:
+            base = state.v4_row_of.get(prefix)
+            if base is not None:
+                gids_v4 |= state.v4_gids(base >> 32)
+        gids_v6: set[int] = set()
+        for prefix in v6_prefixes:
+            row = state.v6_row_of.get(prefix)
+            if row is not None:
+                gids_v6 |= state.v6_gids(row)
+        names = self._domain_names
+        return GroupStats(
+            shared_domains=frozenset(
+                map(names.__getitem__, gids_v4 & gids_v6)
+            ),
+            v4_domain_count=len(gids_v4),
+            v6_domain_count=len(gids_v6),
+        )
+
+
+#: Registered substrate classes, keyed by CLI/registry name.
+SUBSTRATES: dict[str, type[Substrate]] = {
+    ReferenceSubstrate.name: ReferenceSubstrate,
+    ColumnarSubstrate.name: ColumnarSubstrate,
+}
+
+#: The engine used when callers don't ask for a specific one.
+DEFAULT_SUBSTRATE = ColumnarSubstrate.name
+
+_shared_instances: dict[str, Substrate] = {}
+
+
+def get_substrate(spec: "str | Substrate | None" = None) -> Substrate:
+    """Resolve *spec* to a substrate instance.
+
+    ``None`` means :data:`DEFAULT_SUBSTRATE`.  Names resolve to a
+    process-wide shared instance (so the columnar intern pool is reused
+    across calls); pass an explicit instance for an isolated pool.  The
+    shared pool grows with every distinct domain seen process-wide —
+    long-lived processes crossing unrelated universes should call
+    ``get_substrate().reset_pool()`` between studies or use per-study
+    instances.
+    """
+    if isinstance(spec, Substrate):
+        return spec
+    name = DEFAULT_SUBSTRATE if spec is None else spec
+    try:
+        factory = SUBSTRATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown substrate {name!r}; choose from {sorted(SUBSTRATES)}"
+        ) from None
+    instance = _shared_instances.get(name)
+    if instance is None:
+        instance = factory()
+        _shared_instances[name] = instance
+    return instance

@@ -94,21 +94,29 @@ class PrefixSet:
 
 
 def _merge_siblings(prefixes: set[Prefix]) -> set[Prefix]:
-    """Merge binary-sibling pairs into parents until a fixpoint."""
-    current = set(prefixes)
-    changed = True
-    while changed:
-        changed = False
-        for prefix in sorted(current, key=lambda p: -p.length):
-            if prefix.length == 0 or prefix not in current:
-                continue
+    """Merge binary-sibling pairs into parents until a fixpoint.
+
+    A merge can only ever produce a *shorter* prefix, so one sweep over
+    the lengths, longest first, reaches the fixpoint: merged parents
+    drop into the next bucket and are reconsidered there.  O(n · bits)
+    instead of re-sorting the whole set until quiescence.
+    """
+    by_length: dict[int, set[Prefix]] = {}
+    for prefix in prefixes:
+        by_length.setdefault(prefix.length, set()).add(prefix)
+    merged: set[Prefix] = set()
+    for length in range(max(by_length, default=0), 0, -1):
+        bucket = by_length.get(length)
+        while bucket:
+            prefix = bucket.pop()
             sibling = prefix.sibling_subnet()
-            if sibling in current:
-                current.discard(prefix)
-                current.discard(sibling)
-                current.add(prefix.supernet())
-                changed = True
-    return current
+            if sibling in bucket:
+                bucket.discard(sibling)
+                by_length.setdefault(length - 1, set()).add(prefix.supernet())
+            else:
+                merged.add(prefix)
+    merged |= by_length.get(0, set())
+    return merged
 
 
 def aggregate(prefixes: Iterable[Prefix]) -> list[Prefix]:

@@ -4,7 +4,7 @@ import datetime
 
 import pytest
 
-from repro.core.longitudinal import ChangeClass, classify_changes
+from repro.core.longitudinal import ChangeClass, classify_changes, classify_series
 from repro.core.sensitivity import SensitivityCell, cell_at, sweep_thresholds
 from repro.core.siblings import SiblingPair, SiblingSet
 from repro.nettypes.prefix import Prefix
@@ -75,6 +75,21 @@ class TestClassifyChanges:
         _, new = self.build()
         report = classify_changes(SiblingSet(OLD_DATE), new)
         assert report.share(ChangeClass.NEW) == 1.0
+
+    def test_classify_series_matches_pairwise(self):
+        old, new = self.build()
+        empty = SiblingSet(OLD_DATE)
+        reports = classify_series([empty, old, new])
+        assert len(reports) == 2
+        assert reports[0].share(ChangeClass.NEW) == 1.0
+        pairwise = classify_changes(old, new)
+        assert len(reports[1].new) == len(pairwise.new)
+        assert len(reports[1].gone) == len(pairwise.gone)
+        assert len(reports[1].changed) == len(pairwise.changed)
+
+    def test_classify_series_short_inputs(self):
+        assert classify_series([]) == []
+        assert classify_series([SiblingSet(OLD_DATE)]) == []
 
 
 class TestSensitivitySweep:

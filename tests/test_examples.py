@@ -8,9 +8,10 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
-#: (script, argv) — scripts accepting a scenario argument get "tiny".
+#: (script, argv) — scripts accepting a scenario argument get "tiny";
+#: quickstart also exercises the substrate-selection argument.
 EXAMPLES = (
-    ("quickstart.py", ["tiny"]),
+    ("quickstart.py", ["tiny", "reference"]),
     ("blocklist_transfer.py", []),
     ("cdn_analysis.py", ["tiny"]),
     ("rpki_monitor.py", []),
