@@ -62,6 +62,30 @@ def detect_series(
     ]
 
 
+def serve_series(
+    universe: Universe,
+    dates: Iterable[datetime.date],
+    substrate: "str | Substrate | None" = None,
+    cache_size: int = 4096,
+):
+    """Detect on every date and publish each snapshot into a fresh
+    :class:`~repro.serving.service.SiblingQueryService`.
+
+    The longitudinal bridge between detection and serving: snapshots
+    are compiled into immutable lookup indexes and hot-swapped into the
+    service in date order, exactly as a production publisher would roll
+    a daily list forward.  The returned service answers for the *last*
+    date; its ``generation`` counter reflects the whole series.
+    """
+    from repro.serving.index import SiblingLookupIndex
+    from repro.serving.service import SiblingQueryService
+
+    service = SiblingQueryService(cache_size=cache_size)
+    for _date, siblings in detect_series(universe, dates, substrate=substrate):
+        service.swap(SiblingLookupIndex.from_siblings(siblings))
+    return service
+
+
 def paper_offsets(
     reference: datetime.date,
 ) -> list[tuple[str, datetime.date]]:

@@ -3,10 +3,15 @@
 Subcommands:
 
 * ``detect``     — run the detection pipeline on a scenario and print or
-  export the sibling prefix list (CSV/JSONL, optionally tuned).
+  export the sibling prefix list (CSV/JSONL, optionally tuned), and/or
+  compile the binary lookup index (``--emit-index``).
 * ``experiment`` — run any registered per-figure experiment.
 * ``scenarios``  — list the available scenario presets.
-* ``lookup``     — query an exported list for a prefix or address.
+* ``lookup``     — longest-prefix-match query against an export (binary
+  index files are memory-loaded; CSV exports are streamed).
+* ``serve``      — stand up the JSON HTTP lookup endpoint.
+
+Exit codes: 0 success, 1 lookup miss, 2 usage/input error.
 """
 
 from __future__ import annotations
@@ -41,6 +46,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", "-o", help="write to this file instead of stdout"
     )
     detect.add_argument(
+        "--emit-index",
+        metavar="PATH",
+        help="also compile the result into a binary lookup index at PATH "
+        "(servable via `repro serve`)",
+    )
+    detect.add_argument(
         "--with-rov", action="store_true", help="attach ROV status (slower)"
     )
     detect.add_argument(
@@ -60,9 +71,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list scenario presets")
 
-    lookup = sub.add_parser("lookup", help="query an exported list")
-    lookup.add_argument("list_file", help="CSV export from `detect --format csv`")
+    lookup = sub.add_parser("lookup", help="query an exported list (LPM)")
+    lookup.add_argument(
+        "list_file",
+        help="CSV export from `detect --format csv` or a binary index "
+        "from `detect --emit-index`",
+    )
     lookup.add_argument("query", help="IPv4/IPv6 prefix or address")
+
+    serve = sub.add_parser("serve", help="run the JSON HTTP lookup service")
+    serve.add_argument(
+        "list_file", help="binary index or CSV export to serve"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
     return parser
 
 
@@ -103,6 +125,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     published = publish.enrich_pairs(
         universe, siblings, REFERENCE_DATE, repository
     )
+    if args.emit_index:
+        count = publish.write_index(published, args.emit_index, REFERENCE_DATE)
+        print(
+            f"compiled {count} pairs into lookup index {args.emit_index}",
+            file=sys.stderr,
+        )
 
     stream = open(args.output, "w") if args.output else sys.stdout
     try:
@@ -159,19 +187,52 @@ def _cmd_scenarios() -> int:
 
 
 def _cmd_lookup(args: argparse.Namespace) -> int:
-    from repro import publish
-    from repro.nettypes.prefix import Prefix
+    import csv
 
-    query = Prefix.parse(args.query)
-    with open(args.list_file) as stream:
-        pairs = publish.read_csv(stream)
-    hits = [
-        pair
-        for pair in pairs
-        if (query.version == pair.v4_prefix.version and pair.v4_prefix.overlaps(query))
-        or (query.version == pair.v6_prefix.version and pair.v6_prefix.overlaps(query))
-    ]
-    if not hits:
+    from repro import publish
+    from repro.nettypes.prefix import PrefixError
+    from repro.serving.codec import CodecError, is_index_file, load_index
+    from repro.serving.index import parse_query
+
+    try:
+        query = parse_query(args.query)
+    except PrefixError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    hits = []
+    matched = None
+    try:
+        if is_index_file(args.list_file):
+            # Binary index: memory-load once, answer by binary search.
+            result = load_index(args.list_file).lookup(query)
+            if result is not None:
+                matched, hits = result.matched, list(result.pairs)
+        else:
+            # CSV export: stream rows, keep only the longest match.
+            with open(args.list_file) as stream:
+                for pair in publish.stream_csv(stream):
+                    stored = (
+                        pair.v4_prefix if query.version == 4 else pair.v6_prefix
+                    )
+                    if stored.length <= query.length and stored.contains(query):
+                        if matched is None or stored.length > matched.length:
+                            matched, hits = stored, [pair]
+                        elif stored == matched:
+                            hits.append(pair)
+    except OSError as exc:
+        print(f"error: cannot read {args.list_file!r}: {exc}", file=sys.stderr)
+        return 2
+    except (
+        publish.PublishFormatError,
+        CodecError,
+        UnicodeDecodeError,
+        csv.Error,
+    ) as exc:
+        print(f"error: {args.list_file!r}: {exc}", file=sys.stderr)
+        return 2
+
+    if matched is None:
         print(f"no sibling pair covers {query}")
         return 1
     for pair in hits:
@@ -179,6 +240,51 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
             f"{pair.v4_prefix} <-> {pair.v6_prefix}  J={pair.jaccard:.3f} "
             f"domains={pair.shared_domains}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import csv
+
+    from repro import publish
+    from repro.serving.codec import CodecError, is_index_file
+    from repro.serving.http import serve_forever
+    from repro.serving.index import SiblingLookupIndex
+    from repro.serving.service import SiblingQueryService
+
+    try:
+        if is_index_file(args.list_file):
+            service = SiblingQueryService.from_file(args.list_file)
+        else:
+            with open(args.list_file) as stream:
+                # Honor the export's own snapshot date when recorded.
+                date = publish.header_snapshot_date(stream.readline())
+                stream.seek(0)
+                pairs = list(publish.stream_csv(stream))
+            index = SiblingLookupIndex.from_pairs(
+                pairs, date or REFERENCE_DATE
+            )
+            service = SiblingQueryService(index)
+    except OSError as exc:
+        print(f"error: cannot read {args.list_file!r}: {exc}", file=sys.stderr)
+        return 2
+    except (
+        publish.PublishFormatError,
+        CodecError,
+        UnicodeDecodeError,
+        csv.Error,
+    ) as exc:
+        print(f"error: {args.list_file!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        serve_forever(service, args.host, args.port)
+    except OSError as exc:
+        # e.g. port in use or privileged; a usage error, not a crash.
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -192,6 +298,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_scenarios()
     if args.command == "lookup":
         return _cmd_lookup(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

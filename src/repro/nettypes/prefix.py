@@ -115,6 +115,40 @@ class Prefix:
     def network_text(self) -> str:
         return _addr.format_address(self.version, self.value)
 
+    @property
+    def network_key(self) -> int:
+        """The network bits alone, right-aligned (``value >> host_bits``).
+
+        Together with ``(version, length)`` this is a *packed key*: a
+        /24 IPv4 prefix becomes a 24-bit integer, a /48 IPv6 prefix a
+        48-bit one.  Equal keys at equal lengths mean equal prefixes,
+        and an address masked to the same length (see
+        :func:`address_network_key`) matches iff the prefix contains
+        it — the invariant the serving index's binary search relies on.
+
+        >>> Prefix.parse("192.0.2.0/24").network_key == 0xC00002
+        True
+        """
+        return self.value >> self.host_bits
+
+    @classmethod
+    def from_network_key(cls, version: int, key: int, length: int) -> "Prefix":
+        """Inverse of :attr:`network_key`: rebuild the prefix from its
+        packed network bits.
+
+        >>> p = Prefix.parse("2001:db8::/32")
+        >>> Prefix.from_network_key(6, p.network_key, 32) == p
+        True
+        """
+        bits = MAX_LENGTH.get(version)
+        if bits is None:
+            raise PrefixError(f"unknown IP version: {version!r}")
+        if not 0 <= length <= bits:
+            raise PrefixError(f"invalid prefix length /{length} for IPv{version}")
+        if not 0 <= key < (1 << length):
+            raise PrefixError(f"network key {key!r} out of range for /{length}")
+        return cls(version, key << (bits - length), length)
+
     # -- containment ---------------------------------------------------------
 
     def contains_address(self, value: int) -> bool:
@@ -224,3 +258,19 @@ class Prefix:
 def parse_many(texts: list[str] | tuple[str, ...]) -> list[Prefix]:
     """Convenience: parse a list of prefix strings."""
     return [Prefix.parse(text) for text in texts]
+
+
+def address_network_key(version: int, value: int, length: int) -> int:
+    """The packed network key an address *value* would have at /*length*.
+
+    Query-side companion of :attr:`Prefix.network_key`, stating the
+    containment invariant the serving index builds on: a stored prefix
+    contains the address iff their keys at the prefix's length are
+    equal.  (The index's probe loop inlines this shift; the helper is
+    the documented form for external consumers and tests.)
+
+    >>> p = Prefix.parse("198.51.100.0/24")
+    >>> address_network_key(4, p.value | 0x2A, 24) == p.network_key
+    True
+    """
+    return value >> (MAX_LENGTH[version] - length)

@@ -68,6 +68,29 @@ class PatriciaTrie:
         self._size = 0
         self._generation = 0
 
+    @classmethod
+    def from_items(
+        cls,
+        version: int,
+        items: Iterable[tuple[Prefix, V]],
+        aggregate: Callable[[Iterable[V]], V] | None = None,
+    ) -> "PatriciaTrie":
+        """Build a trie from ``(prefix, value)`` pairs in one call.
+
+        Later duplicates of a prefix replace earlier ones, mirroring
+        repeated :meth:`insert`.  This is the reference-oracle entry
+        point the serving tests use to cross-check the compiled
+        :class:`~repro.serving.index.SiblingLookupIndex`.
+
+        >>> trie = PatriciaTrie.from_items(4, [(Prefix.parse("10.0.0.0/8"), 1)])
+        >>> trie.lookup_value(Prefix.parse("10.1.0.0/16"))
+        1
+        """
+        trie = cls(version, aggregate)
+        for prefix, value in items:
+            trie.insert(prefix, value)
+        return trie
+
     # -- mutation ------------------------------------------------------------
 
     def insert(self, prefix: Prefix, value: V) -> None:

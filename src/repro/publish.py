@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import csv
 import datetime
-import io
 import json
 from dataclasses import dataclass
 from typing import Iterable, TextIO
@@ -123,6 +122,26 @@ def _header_comment(date: datetime.date, count: int) -> str:
     )
 
 
+def header_snapshot_date(line: str) -> datetime.date | None:
+    """The snapshot date recorded in a CSV export's header comment,
+    or ``None`` when *line* is not such a comment.
+
+    Inverse of the ``snapshot=`` field written by :func:`write_csv`;
+    lets ``repro serve`` stamp an index compiled from a CSV with the
+    export's true data vintage rather than a default date.
+    """
+    if not line.startswith("#"):
+        return None
+    for part in line.split("|"):
+        part = part.strip()
+        if part.startswith("snapshot="):
+            try:
+                return datetime.date.fromisoformat(part[len("snapshot="):])
+            except ValueError:
+                return None
+    return None
+
+
 def write_csv(
     pairs: Iterable[PublishedPair], stream: TextIO, date: datetime.date
 ) -> int:
@@ -137,10 +156,12 @@ def write_csv(
 
 
 def read_csv(stream: TextIO) -> list[PublishedPair]:
-    """Load a CSV export (header comments skipped)."""
-    lines = [line for line in stream if not line.startswith("#")]
-    reader = csv.DictReader(io.StringIO("".join(lines)))
-    return [PublishedPair.from_row(row) for row in reader]
+    """Load a CSV export (header comments skipped).
+
+    Materializing wrapper over :func:`stream_csv`, so both paths share
+    one parser and the same :class:`PublishFormatError` validation.
+    """
+    return list(stream_csv(stream))
 
 
 def write_jsonl(
@@ -168,3 +189,69 @@ def read_jsonl(stream: TextIO) -> tuple[dict, list[PublishedPair]]:
     meta = meta_record.get("meta", {})
     pairs = [PublishedPair.from_row(json.loads(line)) for line in stream if line.strip()]
     return meta, pairs
+
+
+class PublishFormatError(ValueError):
+    """Raised when an exported sibling list cannot be parsed."""
+
+
+def stream_csv(stream: TextIO) -> Iterable[PublishedPair]:
+    """Iterate a CSV export one pair at a time (constant memory).
+
+    The streaming sibling of :func:`read_csv`: the CLI ``lookup`` path
+    scans exports of any size without materializing the list.  Raises
+    :class:`PublishFormatError` (with the offending *file* line number,
+    comment lines included) on malformed rows so callers can fail with
+    a clear message.
+    """
+    consumed_lines = [0]
+
+    def data_lines():
+        for number, line in enumerate(stream, start=1):
+            if not line.startswith("#"):
+                consumed_lines[0] = number
+                yield line
+
+    reader = csv.DictReader(data_lines())
+    missing = set(FIELDS) - set(reader.fieldnames or FIELDS)
+    if missing:
+        raise PublishFormatError(
+            f"not a sibling list export: header lacks {sorted(missing)}"
+        )
+    for row in reader:
+        try:
+            if any(value is None for value in row.values()) or None in row:
+                raise ValueError("wrong number of columns")
+            yield PublishedPair.from_row(row)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PublishFormatError(
+                f"malformed sibling list row at line {consumed_lines[0]}: {exc}"
+            ) from exc
+
+
+def write_index(
+    pairs: Iterable[PublishedPair],
+    path: str,
+    date: datetime.date,
+) -> int:
+    """Compile *pairs* into a binary lookup index at *path*.
+
+    The serving-side artifact emitted alongside the CSV/JSONL exports:
+    built once at publish time, memory-loaded by ``repro serve`` /
+    ``repro lookup``.  Returns the pair count.  (Lazy import: the
+    serving package depends on this module for :class:`PublishedPair`.)
+    """
+    from repro.serving.codec import save_index
+    from repro.serving.index import SiblingLookupIndex
+
+    index = SiblingLookupIndex.from_pairs(pairs, date)
+    save_index(index, path)
+    return len(index)
+
+
+def read_index(path: str):
+    """Load a binary index written by :func:`write_index`; returns the
+    compiled :class:`~repro.serving.index.SiblingLookupIndex`."""
+    from repro.serving.codec import load_index
+
+    return load_index(path)

@@ -1,0 +1,38 @@
+"""Serving: the compiled sibling-prefix lookup subsystem.
+
+Detection (``core/``) produces a :class:`~repro.core.siblings.SiblingSet`
+per snapshot; this package turns that output into something a consumer
+can *query at interactive rates*:
+
+* :mod:`repro.serving.index` — :class:`SiblingLookupIndex`, an immutable
+  compiled index answering longest-prefix-match point queries and
+  covering-prefix queries by binary search over packed network keys.
+* :mod:`repro.serving.codec` — a versioned, checksummed binary format so
+  indexes are built once and memory-loaded fast.
+* :mod:`repro.serving.cache` — the LRU answer cache.
+* :mod:`repro.serving.service` — :class:`SiblingQueryService`, the
+  stateful façade adding batch APIs, caching, and atomic snapshot
+  hot-swap for longitudinal runs.
+* :mod:`repro.serving.http` — a stdlib ``http.server`` JSON endpoint
+  (``/v1/lookup``, ``/v1/batch``, ``/v1/snapshot``) for demo-scale
+  serving behind ``python -m repro serve``.
+
+See ``docs/SERVING.md`` for the index layout, the binary format, and
+the HTTP surface.
+"""
+
+from repro.serving.cache import LruCache
+from repro.serving.codec import CodecError, load_index, save_index
+from repro.serving.index import LookupResult, SiblingLookupIndex
+from repro.serving.service import QueryError, SiblingQueryService
+
+__all__ = [
+    "CodecError",
+    "LookupResult",
+    "LruCache",
+    "QueryError",
+    "SiblingLookupIndex",
+    "SiblingQueryService",
+    "load_index",
+    "save_index",
+]

@@ -1,0 +1,204 @@
+"""Versioned binary save/load for :class:`SiblingLookupIndex`.
+
+Detection is expensive; lookup serving should start fast.  This codec
+freezes a compiled index into a single file that round-trips exactly
+(floats bit-identical, metadata preserved) so operators build indexes
+once at publish time and memory-load them at service start.
+
+File layout (all integers big-endian)::
+
+    offset  size  field
+    0       8     magic  b"SIBLIDX\\n"
+    8       2     format version (currently 1)
+    10      2     reserved (zero)
+    12      4     header length H
+    16      H     header: UTF-8 JSON {snapshot, pairs, rov_statuses}
+    16+H    44*N  pair records (struct ">IB16sBdIIIbB", N = header pairs)
+    EOF-4   4     CRC-32 of header + records (zlib.crc32)
+
+Each record packs one :class:`~repro.publish.PublishedPair`: IPv4
+value/length, IPv6 value (16 bytes)/length, jaccard as an IEEE double,
+the three domain counts, tri-state ``same_org`` (-1 = unknown), and an
+index into the header's ROV-status string table (255 = none).
+
+Every failure mode is a :class:`CodecError`: wrong magic, an
+unsupported future version, a truncated body, or a checksum mismatch.
+Loaders must reject rather than guess — a serving process would
+otherwise hand out silently wrong answers.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import struct
+import zlib
+from typing import BinaryIO
+
+from repro.nettypes.prefix import Prefix, PrefixError
+from repro.publish import PublishedPair
+from repro.serving.index import SiblingLookupIndex
+
+MAGIC = b"SIBLIDX\n"
+FORMAT_VERSION = 1
+
+_PREAMBLE = struct.Struct(">8sHHI")
+_RECORD = struct.Struct(">IB16sBdIIIbB")
+
+#: Sentinel record values for the optional fields.
+_NO_ROV = 255
+_SAME_ORG = {None: -1, False: 0, True: 1}
+_SAME_ORG_BACK = {-1: None, 0: False, 1: True}
+
+
+class CodecError(ValueError):
+    """Raised when an index file is malformed, corrupt, or from an
+    unsupported format version."""
+
+
+def dump_bytes(index: SiblingLookupIndex) -> bytes:
+    """Serialize *index* into the binary format."""
+    rov_table: list[str] = []
+    rov_slots: dict[str, int] = {}
+    for pair in index.pairs:
+        if pair.rov_status is not None and pair.rov_status not in rov_slots:
+            if len(rov_table) >= _NO_ROV:
+                raise CodecError("too many distinct ROV statuses (max 255)")
+            rov_slots[pair.rov_status] = len(rov_table)
+            rov_table.append(pair.rov_status)
+
+    header = json.dumps(
+        {
+            "snapshot": index.snapshot.isoformat(),
+            "pairs": len(index.pairs),
+            "rov_statuses": rov_table,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+    body = bytearray(header)
+    for pair in index.pairs:
+        body += _RECORD.pack(
+            pair.v4_prefix.value,
+            pair.v4_prefix.length,
+            pair.v6_prefix.value.to_bytes(16, "big"),
+            pair.v6_prefix.length,
+            pair.jaccard,
+            pair.shared_domains,
+            pair.v4_domains,
+            pair.v6_domains,
+            _SAME_ORG[pair.same_org],
+            _NO_ROV if pair.rov_status is None else rov_slots[pair.rov_status],
+        )
+
+    out = bytearray(_PREAMBLE.pack(MAGIC, FORMAT_VERSION, 0, len(header)))
+    out += body
+    out += struct.pack(">I", zlib.crc32(bytes(body)))
+    return bytes(out)
+
+
+def load_bytes(data: bytes) -> SiblingLookupIndex:
+    """Deserialize and recompile an index; rejects anything suspect."""
+    if len(data) < _PREAMBLE.size + 4:
+        raise CodecError("truncated index: shorter than the fixed preamble")
+    magic, version, _reserved, header_length = _PREAMBLE.unpack_from(data)
+    if magic != MAGIC:
+        raise CodecError(f"not a sibling index file (bad magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise CodecError(
+            f"unsupported index format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    body = data[_PREAMBLE.size:-4]
+    (expected_crc,) = struct.unpack(">I", data[-4:])
+    if zlib.crc32(body) != expected_crc:
+        raise CodecError("checksum mismatch: index file is corrupt")
+    if len(body) < header_length:
+        raise CodecError("truncated index: header extends past end of file")
+    try:
+        header = json.loads(body[:header_length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed index header: {exc}") from exc
+
+    try:
+        snapshot = datetime.date.fromisoformat(header["snapshot"])
+        count = int(header["pairs"])
+        rov_table = list(header["rov_statuses"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed index header: {exc}") from exc
+
+    records = body[header_length:]
+    if len(records) != count * _RECORD.size:
+        raise CodecError(
+            f"truncated index: expected {count} records "
+            f"({count * _RECORD.size} bytes), found {len(records)} bytes"
+        )
+
+    pairs = []
+    for position in range(count):
+        (
+            v4_value,
+            v4_length,
+            v6_bytes,
+            v6_length,
+            jaccard,
+            shared,
+            v4_domains,
+            v6_domains,
+            same_org_code,
+            rov_slot,
+        ) = _RECORD.unpack_from(records, position * _RECORD.size)
+        try:
+            v4_prefix = Prefix(4, v4_value, v4_length)
+            v6_prefix = Prefix(6, int.from_bytes(v6_bytes, "big"), v6_length)
+        except PrefixError as exc:
+            raise CodecError(f"invalid prefix in record {position}: {exc}") from exc
+        if rov_slot != _NO_ROV and rov_slot >= len(rov_table):
+            raise CodecError(f"record {position} references unknown ROV slot")
+        pairs.append(
+            PublishedPair(
+                v4_prefix=v4_prefix,
+                v6_prefix=v6_prefix,
+                jaccard=jaccard,
+                shared_domains=shared,
+                v4_domains=v4_domains,
+                v6_domains=v6_domains,
+                same_org=_SAME_ORG_BACK.get(same_org_code),
+                rov_status=None if rov_slot == _NO_ROV else rov_table[rov_slot],
+            )
+        )
+    return SiblingLookupIndex.from_pairs(pairs, snapshot)
+
+
+def save_index(index: SiblingLookupIndex, path: "str | pathlib.Path") -> int:
+    """Write *index* to *path*; returns the byte count."""
+    data = dump_bytes(index)
+    pathlib.Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_index(path: "str | pathlib.Path") -> SiblingLookupIndex:
+    """Read an index file written by :func:`save_index`."""
+    try:
+        data = pathlib.Path(path).read_bytes()
+    except OSError as exc:
+        raise CodecError(f"cannot read index file {path}: {exc}") from exc
+    return load_bytes(data)
+
+
+def is_index_file(path: "str | pathlib.Path") -> bool:
+    """Cheap sniff: does *path* start with the index magic?
+
+    Lets the CLI dispatch one ``FILE`` argument to either the binary
+    loader or the CSV streamer without an explicit flag.
+    """
+    try:
+        with open(path, "rb") as stream:
+            return _read_magic(stream) == MAGIC
+    except OSError:
+        return False
+
+
+def _read_magic(stream: BinaryIO) -> bytes:
+    return stream.read(len(MAGIC))

@@ -1,0 +1,136 @@
+"""Demo-scale JSON-over-HTTP surface for the query service.
+
+A deliberately dependency-free endpoint on the stdlib's threading
+``http.server`` — enough to demo and load-test the compiled index from
+``curl``, not a production frontend (that is a later scaling PR; this
+module is the seam it will replace).
+
+Endpoints:
+
+* ``GET /v1/lookup?ip=<address-or-prefix>`` — point longest-prefix
+  match; 200 with ``{"found": false}`` on a miss, 400 on malformed
+  queries.
+* ``POST /v1/batch`` — body ``{"queries": ["…", …]}``; answers aligned
+  with the input, malformed entries in-band per row.
+* ``GET /v1/snapshot`` — current index generation metadata plus
+  query/cache counters.
+
+Anything else is a 404; all bodies are ``application/json``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.serving.service import QueryError, SiblingQueryService
+
+#: Largest accepted ``POST /v1/batch`` body, a denial-of-accident guard.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class SiblingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that owns the query service reference."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: SiblingQueryService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, SiblingRequestHandler)
+
+
+class SiblingRequestHandler(BaseHTTPRequestHandler):
+    """Routes the three ``/v1`` endpoints onto the service."""
+
+    server: SiblingHTTPServer
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Dispatch ``/v1/lookup`` and ``/v1/snapshot``."""
+        url = urlparse(self.path)
+        if url.path == "/v1/lookup":
+            query = parse_qs(url.query).get("ip", [])
+            if len(query) != 1:
+                self._reply(400, {"error": "exactly one ip= parameter required"})
+                return
+            self._answer(lambda: self.server.service.lookup(query[0]))
+        elif url.path == "/v1/snapshot":
+            self._answer(self.server.service.snapshot_info)
+        else:
+            self._reply(404, {"error": f"unknown path {url.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Dispatch ``/v1/batch``."""
+        if urlparse(self.path).path != "/v1/batch":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._reply(400, {"error": "Content-Length required"})
+            return
+        if length < 0:
+            self._reply(400, {"error": "negative Content-Length"})
+            return
+        if length > MAX_BODY_BYTES:
+            self._reply(400, {"error": f"body too large (> {MAX_BODY_BYTES} bytes)"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"malformed JSON body: {exc}"})
+            return
+        queries = payload.get("queries") if isinstance(payload, dict) else None
+        if not isinstance(queries, list):
+            self._reply(400, {"error": 'body must be {"queries": [...]}'})
+            return
+        self._answer(
+            lambda: {"results": self.server.service.batch(queries)}
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _answer(self, produce) -> None:
+        """Run *produce*, mapping QueryError → 400 and success → 200."""
+        try:
+            body = produce()
+        except QueryError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        self._reply(200, body)
+
+    def _reply(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Respect the server's ``quiet`` flag instead of spamming stderr."""
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: SiblingQueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> SiblingHTTPServer:
+    """Bind (but do not start) the HTTP server; ``port=0`` picks a free
+    ephemeral port (``server.server_address`` tells which)."""
+    return SiblingHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve_forever(service: SiblingQueryService, host: str, port: int) -> None:
+    """Blocking convenience used by ``python -m repro serve``."""
+    with make_server(service, host, port, quiet=False) as server:
+        bound_host, bound_port = server.server_address[:2]
+        print(f"serving sibling lookups on http://{bound_host}:{bound_port}/v1/")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")

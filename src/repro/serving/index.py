@@ -1,0 +1,362 @@
+"""The compiled, immutable sibling lookup index.
+
+:class:`SiblingLookupIndex` compiles a published sibling-pair list into
+a read-only structure answering two query shapes:
+
+* **longest-prefix match** — "which sibling pair covers this address
+  (or this prefix)?", the blocklist/geolocation-transfer primitive;
+* **covering enumeration** — every stored prefix containing a query,
+  shortest first, for consumers that want the whole nesting chain.
+
+Layout.  Per family the stored prefixes are grouped by prefix length;
+each group keeps its prefixes as a *sorted packed-integer array* of
+network keys (:attr:`~repro.nettypes.prefix.Prefix.network_key` — the
+network bits right-aligned, so a /24 is a 24-bit integer) plus an
+aligned tuple of posting lists (indices into the shared pair table).  A
+point query masks the address once per populated length — longest
+first — and binary-searches the group's key array; the first hit *is*
+the longest match, because equal keys at equal lengths are exactly
+containment.  With ≤ 32 (v4) / ≤ 128 (v6) possible lengths and far
+fewer populated ones in practice, a lookup costs a handful of
+``bisect`` calls regardless of how many pairs are stored, where the
+CSV-scanning path the CLI used before this subsystem paid O(pairs)
+per query.
+
+Keys are stored in ``array('Q')`` wherever they fit the portable
+64-bit unsigned slot (always for IPv4; IPv6 lengths ≤ 64, i.e. every
+routed prefix); the rare longer-than-/64 IPv6 groups fall back to a
+tuple of Python ints.  Both support the same ``bisect`` protocol, so
+the query path does not branch on the representation.
+
+The index is deliberately immutable: publishing a new detection
+snapshot means compiling a fresh index and atomically swapping it into
+the :class:`~repro.serving.service.SiblingQueryService`.
+:class:`~repro.nettypes.trie.PatriciaTrie` remains the mutable
+reference oracle; ``tests/test_serving.py`` cross-checks every answer
+against it and against :func:`scan_lookup` on randomized scenarios.
+"""
+
+from __future__ import annotations
+
+import datetime
+from array import array
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.siblings import SiblingSet
+from repro.nettypes.addr import MAX_LENGTH, format_address
+from repro.nettypes.prefix import Prefix, PrefixError
+from repro.publish import PublishedPair
+
+#: Per-group packed keys fit ``array('Q')`` up to this network-bit width.
+_ARRAY_KEY_BITS = 64
+
+
+@dataclass(frozen=True, slots=True)
+class LookupResult:
+    """The answer to one point query.
+
+    ``matched`` is the longest stored prefix containing the query and
+    ``pairs`` every published sibling pair that prefix appears in
+    (deterministic table order).
+    """
+
+    query: str
+    version: int
+    matched: Prefix
+    pairs: tuple[PublishedPair, ...]
+
+    def as_dict(self) -> dict:
+        """JSON-able form, the shape the HTTP endpoints return."""
+        return {
+            "query": self.query,
+            "version": self.version,
+            "found": True,
+            "matched_prefix": str(self.matched),
+            "pairs": [pair.as_row() for pair in self.pairs],
+        }
+
+
+class _FamilyIndex:
+    """The per-family (IPv4 or IPv6) compiled search structure."""
+
+    __slots__ = ("version", "bits", "lengths", "keys", "postings", "size")
+
+    def __init__(self, version: int, by_length: dict[int, dict[int, list[int]]]):
+        self.version = version
+        self.bits = MAX_LENGTH[version]
+        #: Populated prefix lengths, longest first (LPM probe order).
+        self.lengths: tuple[int, ...] = tuple(sorted(by_length, reverse=True))
+        self.keys: list[Sequence[int]] = []
+        self.postings: list[tuple[tuple[int, ...], ...]] = []
+        self.size = 0
+        for length in self.lengths:
+            group = by_length[length]
+            sorted_keys = sorted(group)
+            packed: Sequence[int]
+            if length <= _ARRAY_KEY_BITS:
+                packed = array("Q", sorted_keys)
+            else:
+                packed = tuple(sorted_keys)
+            self.keys.append(packed)
+            self.postings.append(tuple(tuple(group[key]) for key in sorted_keys))
+            self.size += len(sorted_keys)
+
+    def lookup(self, value: int, max_length: int | None = None):
+        """LPM for integer address *value*: ``(prefix, posting)`` or None.
+
+        *max_length* bounds the match (prefix queries may only be
+        covered by prefixes at most as long as themselves).
+        """
+        for slot, length in enumerate(self.lengths):
+            if max_length is not None and length > max_length:
+                continue
+            keys = self.keys[slot]
+            key = value >> (self.bits - length) if length else 0
+            position = bisect_left(keys, key)
+            if position < len(keys) and keys[position] == key:
+                prefix = Prefix.from_network_key(self.version, key, length)
+                return prefix, self.postings[slot][position]
+        return None
+
+    def covering(self, value: int, max_length: int):
+        """Every stored prefix containing *value*, shortest first."""
+        found = []
+        for slot in range(len(self.lengths) - 1, -1, -1):
+            length = self.lengths[slot]
+            if length > max_length:
+                continue
+            keys = self.keys[slot]
+            key = value >> (self.bits - length) if length else 0
+            position = bisect_left(keys, key)
+            if position < len(keys) and keys[position] == key:
+                prefix = Prefix.from_network_key(self.version, key, length)
+                found.append((prefix, self.postings[slot][position]))
+        return found
+
+
+class SiblingLookupIndex:
+    """Compiled, immutable lookup index over a published sibling list.
+
+    Build one with :meth:`from_pairs` (a :class:`PublishedPair` list,
+    e.g. from :func:`repro.publish.read_csv`) or :meth:`from_siblings`
+    (a raw detection :class:`~repro.core.siblings.SiblingSet`), then
+    query it from any thread — the structure is never mutated.
+
+    >>> import datetime
+    >>> pair = PublishedPair(
+    ...     Prefix.parse("192.0.2.0/24"), Prefix.parse("2001:db8::/32"),
+    ...     1.0, 3, 3, 3, True, None)
+    >>> index = SiblingLookupIndex.from_pairs([pair], datetime.date(2024, 9, 11))
+    >>> index.lookup("192.0.2.77").matched
+    Prefix('192.0.2.0/24')
+    >>> index.lookup("2001:db8:beef::1").pairs[0].jaccard
+    1.0
+    >>> index.lookup("203.0.113.9") is None
+    True
+    """
+
+    def __init__(
+        self,
+        pairs: tuple[PublishedPair, ...],
+        snapshot: datetime.date,
+        families: dict[int, _FamilyIndex],
+    ):
+        self.pairs = pairs
+        self.snapshot = snapshot
+        self._families = families
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[PublishedPair],
+        snapshot: datetime.date,
+    ) -> "SiblingLookupIndex":
+        """Compile *pairs* (deterministically sorted) into an index."""
+        table = tuple(
+            sorted(pairs, key=lambda pair: (pair.v4_prefix, pair.v6_prefix))
+        )
+        by_family: dict[int, dict[int, dict[int, list[int]]]] = {4: {}, 6: {}}
+        for position, pair in enumerate(table):
+            for prefix in (pair.v4_prefix, pair.v6_prefix):
+                group = by_family[prefix.version].setdefault(prefix.length, {})
+                group.setdefault(prefix.network_key, []).append(position)
+        families = {
+            version: _FamilyIndex(version, by_length)
+            for version, by_length in by_family.items()
+        }
+        return cls(table, snapshot, families)
+
+    @classmethod
+    def from_siblings(cls, siblings: SiblingSet) -> "SiblingLookupIndex":
+        """Compile a raw detection result (no org/ROV enrichment)."""
+        return cls.from_pairs(
+            (
+                PublishedPair(
+                    v4_prefix=pair.v4_prefix,
+                    v6_prefix=pair.v6_prefix,
+                    jaccard=pair.similarity,
+                    shared_domains=len(pair.shared_domains),
+                    v4_domains=pair.v4_domain_count,
+                    v6_domains=pair.v6_domain_count,
+                    same_org=None,
+                    rov_status=None,
+                )
+                for pair in siblings
+            ),
+            siblings.date,
+        )
+
+    # -- point queries -------------------------------------------------------
+
+    def lookup(self, query: "str | Prefix") -> LookupResult | None:
+        """Longest-prefix match for an address or prefix query.
+
+        Accepts text (``"1.2.3.4"``, ``"2001:db8::/32"``) or a parsed
+        :class:`Prefix`.  A bare address behaves as its host prefix; a
+        prefix query matches stored prefixes at most as long as itself.
+        Returns ``None`` on a miss; raises
+        :class:`~repro.nettypes.prefix.PrefixError` on malformed text.
+        """
+        prefix = parse_query(query) if isinstance(query, str) else query
+        hit = self._families[prefix.version].lookup(prefix.value, prefix.length)
+        if hit is None:
+            return None
+        matched, posting = hit
+        return LookupResult(
+            query=str(query),
+            version=prefix.version,
+            matched=matched,
+            pairs=tuple(self.pairs[position] for position in posting),
+        )
+
+    def lookup_address(self, version: int, value: int) -> LookupResult | None:
+        """LPM for a bare integer address (no text parsing, no
+        :class:`Prefix` allocation on the probe path)."""
+        hit = self._families[version].lookup(value)
+        if hit is None:
+            return None
+        matched, posting = hit
+        return LookupResult(
+            query=format_address(version, value),
+            version=version,
+            matched=matched,
+            pairs=tuple(self.pairs[position] for position in posting),
+        )
+
+    def covering(self, query: "str | Prefix") -> list[LookupResult]:
+        """Every stored prefix containing the query, shortest first."""
+        prefix = parse_query(query) if isinstance(query, str) else query
+        return [
+            LookupResult(
+                query=str(query),
+                version=prefix.version,
+                matched=matched,
+                pairs=tuple(self.pairs[position] for position in posting),
+            )
+            for matched, posting in self._families[prefix.version].covering(
+                prefix.value, prefix.length
+            )
+        ]
+
+    def batch(self, queries: Iterable[str]) -> list[LookupResult | None]:
+        """Point-lookup many queries; aligned with the input order.
+
+        Malformed entries yield ``None`` (exactly like a miss) so one
+        bad row cannot poison a bulk transfer job; use :meth:`lookup`
+        when the distinction matters.
+        """
+        results: list[LookupResult | None] = []
+        for query in queries:
+            try:
+                results.append(self.lookup(query))
+            except PrefixError:
+                results.append(None)
+        return results
+
+    # -- introspection -------------------------------------------------------
+
+    def prefix_count(self, version: int) -> int:
+        """Distinct stored prefixes for one family."""
+        return self._families[version].size
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[PublishedPair]:
+        yield from self.pairs
+
+    def stats(self) -> dict:
+        """JSON-able shape/size summary (the ``/v1/snapshot`` payload)."""
+        return {
+            "snapshot": self.snapshot.isoformat(),
+            "pairs": len(self.pairs),
+            "v4_prefixes": self.prefix_count(4),
+            "v6_prefixes": self.prefix_count(6),
+            "v4_lengths": list(self._families[4].lengths),
+            "v6_lengths": list(self._families[6].lengths),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SiblingLookupIndex({self.snapshot.isoformat()}, "
+            f"pairs={len(self.pairs)}, v4={self.prefix_count(4)}, "
+            f"v6={self.prefix_count(6)})"
+        )
+
+
+def scan_lookup(
+    pairs: Sequence[PublishedPair], query: "str | Prefix"
+) -> LookupResult | None:
+    """Brute-force LPM over an uncompiled pair list.
+
+    The O(pairs)-per-query baseline the old CLI ``lookup`` effectively
+    was; kept as the second oracle for the equivalence tests and as the
+    comparison leg of ``benchmarks/bench_serving_lookup.py``.
+    """
+    prefix = Prefix.parse(query) if isinstance(query, str) else query
+    best: Prefix | None = None
+    for pair in pairs:
+        stored = pair.v4_prefix if prefix.version == 4 else pair.v6_prefix
+        if stored.length <= prefix.length and stored.contains(prefix):
+            if best is None or stored.length > best.length:
+                best = stored
+    if best is None:
+        return None
+    matched = best
+    return LookupResult(
+        query=str(query),
+        version=prefix.version,
+        matched=matched,
+        pairs=tuple(
+            pair
+            for pair in pairs
+            if (pair.v4_prefix if prefix.version == 4 else pair.v6_prefix) == matched
+        ),
+    )
+
+
+def parse_query(text: str) -> Prefix:
+    """Parse a user-supplied query string into a :class:`Prefix`.
+
+    Thin wrapper that normalizes the error type story for callers that
+    surface messages to users (CLI, HTTP): any malformed input raises
+    :class:`~repro.nettypes.prefix.PrefixError` with a clear message.
+    """
+    try:
+        return Prefix.parse(text.strip())
+    except PrefixError:
+        raise
+    except ValueError as exc:  # AddressError subclasses ValueError
+        raise PrefixError(f"malformed query {text!r}: {exc}") from exc
+
+
+__all__ = [
+    "LookupResult",
+    "SiblingLookupIndex",
+    "parse_query",
+    "scan_lookup",
+]

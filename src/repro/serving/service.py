@@ -1,0 +1,205 @@
+"""The stateful query façade: caching, batching, snapshot hot-swap.
+
+:class:`SiblingLookupIndex` is immutable by design; this module owns
+the *mutable* part of serving.  A :class:`SiblingQueryService` holds a
+reference to the current index generation, renders JSON-able answers,
+memoises them in an :class:`~repro.serving.cache.LruCache`, and lets a
+publisher :meth:`~SiblingQueryService.swap` in a freshly compiled
+snapshot atomically — in-flight queries finish against the generation
+they started on (they hold a plain object reference), new queries see
+the new one, and the answer cache is cleared in the same critical
+section so no stale answer can ever be served against a newer
+generation.
+
+This is the seam the longitudinal pipeline publishes into
+(:func:`repro.analysis.pipeline.serve_series`) and the HTTP layer
+(:mod:`repro.serving.http`) reads from.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from repro.nettypes.prefix import PrefixError
+from repro.serving.cache import LruCache
+from repro.serving.index import SiblingLookupIndex
+
+#: Refuse pathologically large batch requests instead of stalling.
+MAX_BATCH = 10_000
+
+
+class QueryError(ValueError):
+    """A client-side problem: malformed query text or batch shape.
+
+    The HTTP layer maps this to a 400; the CLI to exit code 2.
+    """
+
+
+class SiblingQueryService:
+    """Point/batch sibling lookups over a hot-swappable index.
+
+    >>> import datetime
+    >>> from repro.nettypes.prefix import Prefix
+    >>> from repro.publish import PublishedPair
+    >>> pair = PublishedPair(
+    ...     Prefix.parse("192.0.2.0/24"), Prefix.parse("2001:db8::/32"),
+    ...     1.0, 3, 3, 3, True, None)
+    >>> index = SiblingLookupIndex.from_pairs([pair], datetime.date(2024, 9, 11))
+    >>> service = SiblingQueryService(index)
+    >>> service.lookup("192.0.2.9")["matched_prefix"]
+    '192.0.2.0/24'
+    >>> service.lookup("203.0.113.9")["found"]
+    False
+    """
+
+    def __init__(
+        self,
+        index: SiblingLookupIndex | None = None,
+        cache_size: int = 4096,
+    ):
+        self._lock = threading.Lock()
+        self._index = index
+        self._cache = LruCache(maxsize=cache_size)
+        self._generation = 0 if index is None else 1
+        self._queries = 0
+        self._swaps = 0
+
+    @classmethod
+    def from_file(cls, path, cache_size: int = 4096) -> "SiblingQueryService":
+        """Service over an index loaded from a binary file."""
+        from repro.serving.codec import load_index
+
+        return cls(load_index(path), cache_size=cache_size)
+
+    # -- publishing ----------------------------------------------------------
+
+    def swap(self, index: SiblingLookupIndex) -> SiblingLookupIndex | None:
+        """Atomically publish *index* as the serving generation.
+
+        Returns the previous index (``None`` on first publish).  The
+        answer cache is cleared under the same lock, so observers can
+        never mix answers from two generations.
+        """
+        with self._lock:
+            previous = self._index
+            self._index = index
+            self._generation += 1
+            self._swaps += 1
+            self._cache.clear()
+            return previous
+
+    @property
+    def index(self) -> SiblingLookupIndex | None:
+        """The current generation (plain read; safe from any thread)."""
+        return self._index
+
+    @property
+    def generation(self) -> int:
+        """Monotonic publish counter (0 = nothing published yet)."""
+        return self._generation
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, query: str) -> dict:
+        """Answer one point query as a JSON-able dict.
+
+        The returned dict is a fresh top-level copy (safe to add or
+        rebind keys); the nested per-pair rows are shared with the
+        cache and must be treated as read-only.  Raises
+        :class:`QueryError` for malformed query text and when no index
+        has been published yet.
+        """
+        with self._lock:
+            index = self._index
+            generation = self._generation
+            self._queries += 1
+        return self._answer_on(index, generation, query)
+
+    def _answer_on(
+        self, index: SiblingLookupIndex | None, generation: int, query: str
+    ) -> dict:
+        """Answer *query* against one pinned (index, generation) pair."""
+        if index is None:
+            raise QueryError("no index published yet")
+        text = query.strip()
+        # Keyed by generation: a lookup that raced with a swap can at
+        # worst insert a dead old-generation entry (evicted by LRU),
+        # never serve a stale answer under the new generation's key.
+        key = (generation, text)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        try:
+            result = index.lookup(text)
+        except PrefixError as exc:
+            raise QueryError(str(exc)) from exc
+        answer = (
+            {"query": text, "found": False}
+            if result is None
+            else result.as_dict()
+        )
+        # "pairs" is a tuple so a caller cannot grow the cached rows.
+        if "pairs" in answer:
+            answer["pairs"] = tuple(answer["pairs"])
+        answer["snapshot"] = index.snapshot.isoformat()
+        self._cache.put(key, answer)
+        return dict(answer)
+
+    def batch(self, queries: "Iterable[str] | Sequence[str]") -> list[dict]:
+        """Answer many point queries; aligned with the input order.
+
+        Unlike :meth:`lookup`, malformed entries produce an in-band
+        ``{"found": false, "error": ...}`` row so one bad line cannot
+        fail a bulk job.  The whole batch is answered against the
+        generation current at entry — a concurrent :meth:`swap` never
+        mixes two snapshots within one response.  Raises
+        :class:`QueryError` only for whole-request problems (no index,
+        non-string entries, oversize batch).
+        """
+        items = list(queries)
+        if len(items) > MAX_BATCH:
+            raise QueryError(f"batch too large: {len(items)} > {MAX_BATCH}")
+        with self._lock:
+            index = self._index
+            generation = self._generation
+            self._queries += len(items)
+        if index is None:
+            raise QueryError("no index published yet")
+        results = []
+        for query in items:
+            if not isinstance(query, str):
+                raise QueryError(f"batch entries must be strings, got {query!r}")
+            try:
+                results.append(self._answer_on(index, generation, query))
+            except QueryError as exc:
+                results.append(
+                    {"query": query.strip(), "found": False, "error": str(exc)}
+                )
+        return results
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot_info(self) -> dict:
+        """Current generation metadata + service counters
+        (the ``/v1/snapshot`` payload)."""
+        index = self._index
+        info: dict = {
+            "generation": self._generation,
+            "swaps": self._swaps,
+            "queries": self._queries,
+            "cache": self._cache.stats(),
+        }
+        if index is None:
+            info["index"] = None
+        else:
+            info["index"] = index.stats()
+        return info
+
+    def __repr__(self) -> str:
+        index = self._index
+        state = "empty" if index is None else index.snapshot.isoformat()
+        return (
+            f"SiblingQueryService({state}, generation={self._generation}, "
+            f"queries={self._queries})"
+        )

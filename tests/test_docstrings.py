@@ -1,9 +1,10 @@
-"""Docstring presence for the public core API.
+"""Docstring presence for the public core and serving APIs.
 
 Companion to ``test_doctests.py``: every module under ``repro.core``
-must carry a module docstring, and every public function, class, and
-method must document itself.  This pins the documentation layer the
-architecture docs link into — drift fails CI instead of rotting.
+and ``repro.serving`` must carry a module docstring, and every public
+function, class, and method must document itself.  This pins the
+documentation layer the architecture docs link into — drift fails CI
+instead of rotting.
 """
 
 import importlib
@@ -13,14 +14,18 @@ import pkgutil
 import pytest
 
 import repro.core
+import repro.serving
 
 
-def _core_modules():
-    for info in pkgutil.iter_modules(repro.core.__path__, "repro.core."):
-        yield importlib.import_module(info.name)
+def _documented_packages():
+    for package in (repro.core, repro.serving):
+        for info in pkgutil.iter_modules(
+            package.__path__, package.__name__ + "."
+        ):
+            yield importlib.import_module(info.name)
 
 
-MODULES = list(_core_modules())
+MODULES = list(_documented_packages())
 MODULE_IDS = [module.__name__ for module in MODULES]
 
 

@@ -8,12 +8,18 @@ import repro.dns.zone
 import repro.nettypes.prefix
 import repro.nettypes.sets
 import repro.nettypes.trie
+import repro.serving.cache
+import repro.serving.index
+import repro.serving.service
 
 MODULES = (
     repro.nettypes.prefix,
     repro.nettypes.trie,
     repro.nettypes.sets,
     repro.dns.zone,
+    repro.serving.cache,
+    repro.serving.index,
+    repro.serving.service,
 )
 
 

@@ -18,6 +18,7 @@ EXAMPLES = (
     ("threshold_tuning.py", []),
     ("longitudinal_study.py", []),
     ("geolocation_transfer.py", []),
+    ("serving_demo.py", ["tiny"]),
 )
 
 

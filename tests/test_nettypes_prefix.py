@@ -193,3 +193,43 @@ class TestOrderingAndHash:
     def test_repr_shows_cidr_text(self):
         p = Prefix.parse("2001:db8::/32")
         assert repr(p) == "Prefix('2001:db8::/32')"
+
+
+class TestNetworkKey:
+    @given(v4_prefixes())
+    def test_roundtrip_v4(self, prefix):
+        assert (
+            Prefix.from_network_key(IPV4, prefix.network_key, prefix.length)
+            == prefix
+        )
+
+    @given(v6_prefixes())
+    def test_roundtrip_v6(self, prefix):
+        assert (
+            Prefix.from_network_key(IPV6, prefix.network_key, prefix.length)
+            == prefix
+        )
+
+    def test_key_width_matches_length(self):
+        prefix = Prefix.parse("255.255.255.0/24")
+        assert prefix.network_key == 0xFFFFFF
+        assert prefix.network_key.bit_length() == 24
+
+    def test_address_key_containment(self):
+        from repro.nettypes.prefix import address_network_key
+
+        prefix = Prefix.parse("2001:db8::/32")
+        inside = prefix.value | 0xDEAD
+        outside = Prefix.parse("2001:db9::").value
+        assert address_network_key(IPV6, inside, 32) == prefix.network_key
+        assert address_network_key(IPV6, outside, 32) != prefix.network_key
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_network_key(IPV4, 1 << 24, 24)
+        with pytest.raises(PrefixError):
+            Prefix.from_network_key(IPV4, -1, 24)
+        with pytest.raises(PrefixError):
+            Prefix.from_network_key(5, 0, 0)
+        with pytest.raises(PrefixError):
+            Prefix.from_network_key(IPV4, 0, 33)

@@ -361,3 +361,28 @@ class TestPropertyBased:
             covered |= {q for q in stored_under if kid.contains(q)}
         if kids:
             assert covered | ({root} & stored_under) == stored_under
+
+
+class TestFromItems:
+    def test_builds_and_looks_up(self):
+        trie = PatriciaTrie.from_items(
+            IPV4, [(p("10.0.0.0/8"), "a"), (p("10.1.0.0/16"), "b")]
+        )
+        assert len(trie) == 2
+        assert trie.lookup_value(p("10.1.2.0/24")) == "b"
+        assert trie.lookup_value(p("10.200.0.0/16")) == "a"
+
+    def test_later_duplicates_win(self):
+        trie = PatriciaTrie.from_items(
+            IPV4, [(p("10.0.0.0/8"), "old"), (p("10.0.0.0/8"), "new")]
+        )
+        assert len(trie) == 1
+        assert trie[p("10.0.0.0/8")] == "new"
+
+    def test_aggregate_passthrough(self):
+        trie = PatriciaTrie.from_items(
+            IPV4,
+            [(p("10.0.0.0/8"), frozenset({"x"})), (p("10.1.0.0/16"), frozenset({"y"}))],
+            aggregate=union_of_frozensets,
+        )
+        assert trie.aggregate_under(p("10.0.0.0/8")) == frozenset({"x", "y"})

@@ -141,3 +141,126 @@ class TestCli:
         out = capsys.readouterr().out
         assert "sibling pairs" in out
         assert "same_org_share" in out
+
+
+class TestStreamCsv:
+    def test_streams_same_pairs_as_read_csv(self, published):
+        stream = io.StringIO()
+        publish.write_csv(published, stream, REFERENCE_DATE)
+        stream.seek(0)
+        streamed = list(publish.stream_csv(stream))
+        assert streamed == publish.read_csv(io.StringIO(stream.getvalue()))
+
+    def test_rejects_wrong_header(self):
+        with pytest.raises(publish.PublishFormatError, match="header"):
+            list(publish.stream_csv(io.StringIO("garbage\n1,2,3\n")))
+
+    def test_rejects_malformed_row_with_file_line_number(self, published):
+        stream = io.StringIO()
+        publish.write_csv(published, stream, REFERENCE_DATE)
+        broken = stream.getvalue() + "not-a-prefix,zz,bad,1,1,1,,\n"
+        # The bad row is the last physical line, counting the comment.
+        bad_line = broken.count("\n")
+        with pytest.raises(
+            publish.PublishFormatError, match=f"line {bad_line}"
+        ):
+            list(publish.stream_csv(io.StringIO(broken)))
+
+    def test_header_snapshot_date(self, published):
+        stream = io.StringIO()
+        publish.write_csv(published, stream, REFERENCE_DATE)
+        header = stream.getvalue().splitlines()[0]
+        assert publish.header_snapshot_date(header) == REFERENCE_DATE
+        assert publish.header_snapshot_date("v4_prefix,v6_prefix") is None
+        assert publish.header_snapshot_date("# no date here") is None
+        assert publish.header_snapshot_date("# a | snapshot=20XX-01-01") is None
+
+
+class TestPublishIndex:
+    def test_write_read_index_roundtrip(self, published, tmp_path):
+        path = tmp_path / "list.sibidx"
+        count = publish.write_index(published, path, REFERENCE_DATE)
+        assert count == len(published)
+        index = publish.read_index(path)
+        assert list(index) == sorted(
+            published, key=lambda pair: (pair.v4_prefix, pair.v6_prefix)
+        )
+        assert index.snapshot == REFERENCE_DATE
+
+
+class TestServingCli:
+    @pytest.fixture(scope="class")
+    def exports(self, tmp_path_factory):
+        """One detect run exported as CSV + binary index."""
+        directory = tmp_path_factory.mktemp("exports")
+        csv_path = directory / "siblings.csv"
+        index_path = directory / "siblings.sibidx"
+        assert (
+            main(
+                [
+                    "detect", "--scenario", "tiny", "--format", "csv",
+                    "-o", str(csv_path), "--emit-index", str(index_path),
+                ]
+            )
+            == 0
+        )
+        return csv_path, index_path
+
+    def test_lookup_index_matches_csv(self, exports, capsys):
+        csv_path, index_path = exports
+        first = publish.read_csv(io.StringIO(csv_path.read_text()))[0]
+        assert main(["lookup", str(index_path), str(first.v4_prefix)]) == 0
+        from_index = capsys.readouterr().out
+        assert main(["lookup", str(csv_path), str(first.v4_prefix)]) == 0
+        from_csv = capsys.readouterr().out
+        assert from_index == from_csv
+        assert str(first.v4_prefix) in from_index
+
+    def test_lookup_address_inside_prefix(self, exports, capsys):
+        _, index_path = exports
+        index = publish.read_index(index_path)
+        target = index.pairs[0].v6_prefix
+        address = target.value | 0x99
+        from repro.nettypes.addr import format_ipv6
+
+        expected = index.lookup(format_ipv6(address))
+        assert main(["lookup", str(index_path), format_ipv6(address)]) == 0
+        assert str(expected.matched) in capsys.readouterr().out
+
+    def test_lookup_malformed_query_exits_2(self, exports, capsys):
+        csv_path, _ = exports
+        assert main(["lookup", str(csv_path), "not-an-ip"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lookup_missing_file_exits_2(self, capsys):
+        assert main(["lookup", "/nonexistent/list.csv", "192.0.2.1"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_lookup_malformed_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("garbage\n")
+        assert main(["lookup", str(bad), "192.0.2.1"]) == 2
+        assert "not a sibling list export" in capsys.readouterr().err
+
+    def test_lookup_corrupt_index_exits_2(self, exports, tmp_path, capsys):
+        _, index_path = exports
+        data = bytearray(index_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        corrupt = tmp_path / "corrupt.sibidx"
+        corrupt.write_bytes(bytes(data))
+        assert main(["lookup", str(corrupt), "192.0.2.1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lookup_binary_garbage_exits_2(self, tmp_path, capsys):
+        garbled = tmp_path / "garbled.bin"
+        garbled.write_bytes(b"\xff\xfe\x00\x01garbled")
+        assert main(["lookup", str(garbled), "192.0.2.1"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["serve", str(garbled)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("garbage\n")
+        assert main(["serve", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
