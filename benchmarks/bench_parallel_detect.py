@@ -1,0 +1,164 @@
+"""Sharded vs columnar Step-3 accumulation at three scales.
+
+The sharded engine only pays off once the packed-key accumulation
+dwarfs worker spin-up, so this bench drives both engines over
+*synthetic dense membership indexes* (many multi-prefix domains — the
+hypergiant/shared-hosting shape) at three pair-row scales, the largest
+well inside the parallel regime.  The stock universe scenarios (tiny …
+medium) all sit *below* the fallback threshold — that is the point of
+the threshold — and are represented here by the fallback leg.
+
+Timing is ``time.perf_counter`` best-of-N (each test reports a ratio
+between two legs); the module still runs once, untimed, under CI's
+``--benchmark-disable`` smoke job.  Every timed leg asserts the two
+engines produced identical counts, so a timing run is also an
+equivalence check.
+
+Results land in ``results/parallel_detect.txt`` together with the host
+core count.  The PR 3 acceptance bar — sharded ≥ 2× columnar at the
+largest scale with 4+ workers — is asserted **only when the host
+actually has 4+ cores**; on smaller hosts the measured numbers are
+still recorded, clearly labelled.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.domainsets import PrefixDomainIndex
+from repro.core.parallel import ShardedSubstrate, estimate_pair_rows
+from repro.core.substrate import ColumnarSubstrate
+from repro.dates import REFERENCE_DATE
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+
+from benchmarks.common import RESULTS_DIR
+
+#: (domains, v4 memberships, v6 memberships) per scale; pair rows are
+#: domains * v4 * v6.
+SCALES = {
+    "small": (2_000, 4, 4),       #   32k pair rows
+    "medium": (8_000, 8, 8),      #  512k pair rows
+    "large": (6_000, 20, 20),     #  2.4M pair rows
+}
+
+WORKERS = max(4, os.cpu_count() or 1)
+REPEATS = 3
+
+_LINES: list[str] = []
+_INDEX_CACHE: dict[str, PrefixDomainIndex] = {}
+
+
+def _dense_index(scale: str) -> PrefixDomainIndex:
+    """A deterministic dense membership index for one scale."""
+    index = _INDEX_CACHE.get(scale)
+    if index is not None:
+        return index
+    n_domains, fan_v4, fan_v6 = SCALES[scale]
+    rng = random.Random(20260728)
+    v4_pool = [
+        Prefix.from_address(IPV4, (10 << 24) | (i << 8), 24)
+        for i in range(256)
+    ]
+    v6_pool = [
+        Prefix.from_address(IPV6, (0x2001_0DB8 << 96) | (i << 80), 48)
+        for i in range(256)
+    ]
+    index = PrefixDomainIndex(date=REFERENCE_DATE)
+    for position in range(n_domains):
+        label = f"d{position}.bench"
+        v4_prefixes = set(rng.sample(v4_pool, fan_v4))
+        v6_prefixes = set(rng.sample(v6_pool, fan_v6))
+        index.domain_v4_prefixes[label] = v4_prefixes
+        index.domain_v6_prefixes[label] = v6_prefixes
+        for prefix in v4_prefixes:
+            index.v4_domains.setdefault(prefix, set()).add(label)
+        for prefix in v6_prefixes:
+            index.v6_domains.setdefault(prefix, set()).add(label)
+    _INDEX_CACHE[scale] = index
+    return index
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _flush_results() -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = [
+        "sharded vs columnar Step-3 accumulation",
+        "=" * 39,
+        "",
+        f"host cores: {os.cpu_count()}  workers: {WORKERS}  "
+        f"(>=2x bar asserted only on 4+ core hosts)",
+        "",
+        f"{'scale':<8} {'pair rows':>10} {'columnar':>10} {'sharded':>10} "
+        f"{'speedup':>8}",
+    ]
+    (RESULTS_DIR / "parallel_detect.txt").write_text(
+        "\n".join(header + _LINES) + "\n"
+    )
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_parallel_accumulation_speedup(scale):
+    """Step 3 wall time, columnar vs sharded, equivalence asserted."""
+    index = _dense_index(scale)
+    columnar = ColumnarSubstrate()
+    state = columnar.prepare(index)
+    pair_rows = estimate_pair_rows(state)
+
+    columnar_counts = {}
+    sharded_counts = {}
+
+    def columnar_leg():
+        columnar_counts.clear()
+        columnar_counts.update(ColumnarSubstrate.pair_counts(state))
+
+    sharded = ShardedSubstrate(workers=WORKERS, min_pair_rows=0)
+    sharded_state = sharded.prepare(index)
+
+    def sharded_leg():
+        sharded_counts.clear()
+        sharded_counts.update(sharded.pair_counts(sharded_state))
+
+    columnar_elapsed = _best_of(columnar_leg)
+    sharded_elapsed = _best_of(sharded_leg)
+    assert sharded.last_run["mode"] == "sharded"
+    assert columnar_counts == sharded_counts  # bit-identical merge
+
+    speedup = columnar_elapsed / sharded_elapsed if sharded_elapsed else 0.0
+    _LINES.append(
+        f"{scale:<8} {pair_rows:>10,} {columnar_elapsed * 1e3:>8.1f}ms "
+        f"{sharded_elapsed * 1e3:>8.1f}ms {speedup:>7.2f}x"
+    )
+    _flush_results()
+
+    if scale == "large" and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"sharded only {speedup:.2f}x over columnar at {scale} scale "
+            f"with {WORKERS} workers (acceptance bar is 2x on 4+ cores)"
+        )
+
+
+def test_fallback_leg_recorded():
+    """Below the threshold the engine runs columnar; record that too."""
+    index = _dense_index("small")
+    engine = ShardedSubstrate(workers=WORKERS)  # stock threshold
+    engine.select(index)
+    mode = engine.last_run["mode"]
+    assert mode == "fallback"
+    _LINES.append("")
+    _LINES.append(
+        f"fallback check: small scale at stock threshold ran "
+        f"'{mode}' (pair rows {engine.last_run['pair_rows']:,} < "
+        f"{engine.min_pair_rows:,})"
+    )
+    _flush_results()

@@ -4,7 +4,9 @@ All entry points accept a ``substrate=`` argument (name or
 :class:`~repro.core.substrate.Substrate` instance) and default to the
 shared columnar engine; :func:`detect_series` resolves the substrate
 once so a longitudinal run reuses one interned domain table across every
-snapshot it detects on.
+snapshot it detects on.  A ``workers=`` argument rides along everywhere
+for the parallel ``"sharded"`` engine (worker-process count, ``0`` =
+all cores); single-process substrates ignore it.
 """
 
 from __future__ import annotations
@@ -25,11 +27,14 @@ def detect_at(
     universe: Universe,
     date: datetime.date,
     substrate: "str | Substrate | None" = None,
+    workers: int | None = None,
 ) -> tuple[SiblingSet, PrefixDomainIndex]:
     """Default-case (BGP-announced) sibling detection on one date."""
     snapshot = universe.snapshot_at(date)
     annotator = universe.annotator_at(date)
-    return detect_with_index(snapshot, annotator, substrate=substrate)
+    return detect_with_index(
+        snapshot, annotator, substrate=substrate, workers=workers
+    )
 
 
 def tuned_at(
@@ -37,9 +42,12 @@ def tuned_at(
     date: datetime.date,
     config: TunerConfig = TunerConfig(),
     substrate: "str | Substrate | None" = None,
+    workers: int | None = None,
 ) -> tuple[SiblingSet, PrefixDomainIndex]:
     """SP-Tuner-refined sibling detection on one date."""
-    siblings, index = detect_at(universe, date, substrate=substrate)
+    siblings, index = detect_at(
+        universe, date, substrate=substrate, workers=workers
+    )
     tuner = SpTunerMS(index, config)
     return tuner.tune_all(siblings), index
 
@@ -48,14 +56,18 @@ def detect_series(
     universe: Universe,
     dates: Iterable[datetime.date],
     substrate: "str | Substrate | None" = None,
+    workers: int | None = None,
 ) -> list[tuple[datetime.date, SiblingSet]]:
     """Detect siblings on every date, sharing one substrate instance.
 
     The resolved substrate is threaded through all snapshots, so the
     columnar engine interns each domain string once for the whole run
-    rather than once per date.
+    rather than once per date — and the sharded engine shards every
+    snapshot with the same worker configuration while reusing that same
+    intern pool (workers receive interned integer arrays, never the
+    pool itself).
     """
-    engine = get_substrate(substrate)
+    engine = get_substrate(substrate, workers=workers)
     return [
         (date, detect_at(universe, date, substrate=engine)[0])
         for date in dates
@@ -67,6 +79,7 @@ def serve_series(
     dates: Iterable[datetime.date],
     substrate: "str | Substrate | None" = None,
     cache_size: int = 4096,
+    workers: int | None = None,
 ):
     """Detect on every date and publish each snapshot into a fresh
     :class:`~repro.serving.service.SiblingQueryService`.
@@ -81,7 +94,9 @@ def serve_series(
     from repro.serving.service import SiblingQueryService
 
     service = SiblingQueryService(cache_size=cache_size)
-    for _date, siblings in detect_series(universe, dates, substrate=substrate):
+    for _date, siblings in detect_series(
+        universe, dates, substrate=substrate, workers=workers
+    ):
         service.swap(SiblingLookupIndex.from_siblings(siblings))
     return service
 

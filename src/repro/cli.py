@@ -5,6 +5,8 @@ Subcommands:
 * ``detect``     — run the detection pipeline on a scenario and print or
   export the sibling prefix list (CSV/JSONL, optionally tuned), and/or
   compile the binary lookup index (``--emit-index``).
+* ``detect-series`` — run detection over a longitudinal date series
+  (one shared substrate/intern pool across all snapshots).
 * ``experiment`` — run any registered per-figure experiment.
 * ``scenarios``  — list the available scenario presets.
 * ``lookup``     — longest-prefix-match query against an export (binary
@@ -23,6 +25,26 @@ from typing import Sequence
 from repro.core.sptuner import SpTunerMS, TunerConfig
 from repro.core.substrate import DEFAULT_SUBSTRATE, SUBSTRATES
 from repro.dates import REFERENCE_DATE
+
+
+def _add_substrate_options(command: argparse.ArgumentParser) -> None:
+    """The shared Step 3-4 engine flags (``--substrate``, ``--workers``)."""
+    command.add_argument(
+        "--substrate",
+        choices=sorted(SUBSTRATES),
+        default=DEFAULT_SUBSTRATE,
+        help="Step 3-4 engine (columnar: interned posting lists; "
+        "sharded: columnar Step 3 across worker processes; "
+        "reference: the paper-literal dict-of-sets path)",
+    )
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --substrate sharded "
+        "(0 = all cores; small inputs fall back to single-process)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,13 +79,26 @@ def _build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--min-jaccard", type=float, default=0.0, help="similarity floor"
     )
-    detect.add_argument(
-        "--substrate",
-        choices=sorted(SUBSTRATES),
-        default=DEFAULT_SUBSTRATE,
-        help="Step 3-4 engine (columnar: interned posting lists; "
-        "reference: the paper-literal dict-of-sets path)",
+    _add_substrate_options(detect)
+
+    series = sub.add_parser(
+        "detect-series", help="detect over a longitudinal date series"
     )
+    series.add_argument("--scenario", default="tiny", help="scenario preset")
+    series.add_argument(
+        "--offsets",
+        choices=("paper", "stability"),
+        default="paper",
+        help="date grid: the paper's Year -4 … Day 0 axis, or the "
+        "one-year stability lookback",
+    )
+    series.add_argument(
+        "--format", choices=("table", "csv"), default="table"
+    )
+    series.add_argument(
+        "--output", "-o", help="write to this file instead of stdout"
+    )
+    _add_substrate_options(series)
 
     experiment = sub.add_parser("experiment", help="run a per-figure experiment")
     experiment.add_argument("experiment_id", help="e.g. fig05, sec42")
@@ -107,6 +142,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         universe.snapshot_at(REFERENCE_DATE),
         universe.annotator_at(REFERENCE_DATE),
         substrate=args.substrate,
+        workers=args.workers,
     )
     if args.tune:
         config = _parse_thresholds(args.tune)
@@ -151,6 +187,55 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     f"{org}"
                     + (f" rov={pair.rov_status}" if pair.rov_status else "")
                     + "\n"
+                )
+    finally:
+        if args.output:
+            stream.close()
+    return 0
+
+
+def _cmd_detect_series(args: argparse.Namespace) -> int:
+    from repro.analysis.pipeline import (
+        detect_series,
+        paper_offsets,
+        stability_offsets,
+    )
+    from repro.synth import build_universe
+
+    offsets_fn = (
+        paper_offsets if args.offsets == "paper" else stability_offsets
+    )
+    labelled = offsets_fn(REFERENCE_DATE)
+    label_of = {date: label for label, date in labelled}
+    universe = build_universe(args.scenario)
+    series = detect_series(
+        universe,
+        [date for _, date in labelled],
+        substrate=args.substrate,
+        workers=args.workers,
+    )
+
+    stream = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.format == "csv":
+            stream.write("label,date,pairs,perfect_share,mean_jaccard\n")
+            for date, siblings in series:
+                stream.write(
+                    f"{label_of[date]},{date.isoformat()},{len(siblings)},"
+                    f"{siblings.perfect_match_share:.6f},"
+                    f"{siblings.mean_similarity:.6f}\n"
+                )
+        else:
+            stream.write(
+                f"{'label':<10} {'date':<12} {'pairs':>6} "
+                f"{'perfect':>8} {'mean J':>8}\n"
+            )
+            for date, siblings in series:
+                stream.write(
+                    f"{label_of[date]:<10} {date.isoformat():<12} "
+                    f"{len(siblings):>6} "
+                    f"{siblings.perfect_match_share:>7.1%} "
+                    f"{siblings.mean_similarity:>8.3f}\n"
                 )
     finally:
         if args.output:
@@ -292,6 +377,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "detect":
         return _cmd_detect(args)
+    if args.command == "detect-series":
+        return _cmd_detect_series(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "scenarios":

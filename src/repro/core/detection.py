@@ -139,19 +139,27 @@ def detect_siblings(
     metric: str = "jaccard",
     mode: BestMatchMode = BestMatchMode.EITHER,
     substrate: "str | Substrate | None" = None,
+    workers: int | None = None,
 ) -> SiblingSet:
     """The full four-step pipeline on one snapshot.
 
     *substrate* picks the Step 3-4 engine — a name from
     :data:`repro.core.substrate.SUBSTRATES` or a
     :class:`~repro.core.substrate.Substrate` instance; ``None`` means the
-    default (columnar).
+    default (columnar).  *workers* configures parallel engines (the
+    ``"sharded"`` substrate's process count; ``0`` = all cores) and is
+    ignored by single-process substrates.
 
     >>> siblings = detect_siblings(universe.snapshot_at(date),
     ...                            universe.annotator_at(date))   # doctest: +SKIP
     """
     return detect_with_index(
-        snapshot, annotator, metric=metric, mode=mode, substrate=substrate
+        snapshot,
+        annotator,
+        metric=metric,
+        mode=mode,
+        substrate=substrate,
+        workers=workers,
     )[0]
 
 
@@ -161,11 +169,12 @@ def detect_with_index(
     metric: str = "jaccard",
     mode: BestMatchMode = BestMatchMode.EITHER,
     substrate: "str | Substrate | None" = None,
+    workers: int | None = None,
 ) -> tuple[SiblingSet, PrefixDomainIndex]:
     """Like :func:`detect_siblings` but also returns the index, which the
     SP-Tuner and several analyses need."""
     from repro.core.substrate import get_substrate
 
     index = build_index(snapshot, annotator)
-    engine = get_substrate(substrate)
+    engine = get_substrate(substrate, workers=workers)
     return engine.select(index, metric=metric, mode=mode), index

@@ -1,0 +1,268 @@
+"""Sharded parallel execution of the columnar Step-3 accumulation.
+
+The columnar substrate made Step 3 (shared-domain counting over packed
+``(v4_row << 32) | v6_row`` keys) a flat integer loop; this module
+spreads that loop over ``multiprocessing`` workers.  The pair space is
+partitioned **by v4 group key**: shard *s* owns every packed key whose
+v4 row satisfies ``v4_row % n_shards == s``.  Because the partition is
+a function of the key alone, shard-local counters are disjoint and the
+merge is a plain dict union — no shard can ever disagree with another
+about a pair, so the merged counts are *identical* to the
+single-process :meth:`~repro.core.substrate.ColumnarSubstrate.pair_counts`
+(property-tested in ``tests/test_differential_engines.py``).
+
+What crosses the process boundary is deliberately pickle-light: each
+shard receives flat CSR ``array`` payloads (its slice of the per-domain
+v4 bases plus the aligned v6 row segments) and returns its counter as
+two parallel arrays (packed keys + counts).  No Python sets, dicts of
+prefixes, or domain strings are shipped; workers never rebuild an
+index.
+
+Process spin-up has a fixed cost, so :class:`ShardedSubstrate` falls
+back to the inherited single-process columnar path when the
+accumulation is small (fewer than :attr:`ShardedSubstrate.min_pair_rows`
+emitted pair rows) or when only one worker is effective — the fallback
+is exact by construction, it runs the very code being parallelized.
+Everything outside Step 3 (scoring, best-match selection, lazy
+shared-domain materialization, ``group_stats``) is inherited unchanged
+from :class:`~repro.core.substrate.ColumnarSubstrate`, including the
+reusable intern pool that longitudinal runs thread across snapshots.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from array import array
+from collections import Counter
+from typing import ClassVar
+
+from repro.core.substrate import SUBSTRATES, ColumnarSubstrate, _ColumnarState
+
+#: Below this many emitted Step-3 pair rows the accumulation is cheaper
+#: than forking workers, and the engine transparently runs the
+#: single-process columnar path instead.
+DEFAULT_MIN_PAIR_ROWS = 200_000
+
+
+class ShardedDetectionError(RuntimeError):
+    """A shard worker failed (or could not be dispatched).
+
+    Raised by :meth:`ShardedSubstrate.pair_counts` with the failing
+    shard's own error message attached; the worker pool is torn down
+    before this propagates, so a crashed worker surfaces as a clear
+    exception instead of a hung ``detect`` run.
+    """
+
+
+def estimate_pair_rows(state: _ColumnarState) -> int:
+    """How many packed pair rows Step 3 would emit for *state*.
+
+    The exact count — ``sum(|v4 members| * |v6 members|)`` over domains
+    — computed in O(domains) without emitting anything.  This is the
+    work measure the sharded/columnar fallback decision is based on.
+    """
+    return sum(
+        len(bases) * len(rows)
+        for bases, rows in zip(state.dom_bases, state.dom_rows)
+    )
+
+
+def build_shard_payloads(
+    state: _ColumnarState, n_shards: int, fail_shard: int | None = None
+) -> list[tuple]:
+    """Deterministically partition *state*'s accumulation into payloads.
+
+    Shard assignment is ``v4_row % n_shards`` (the v4 group key), so
+    the packed-key spaces of the shards are disjoint and every shard
+    count merges without conflict.  Each payload is a tuple of flat
+    ``array`` objects in CSR layout: per segment (one per domain that
+    touches the shard) a slice of premultiplied v4 bases and the
+    domain's full v6 row list.  *fail_shard* marks one payload to raise
+    inside the worker — the crash-path test hook.
+    """
+    bases_data = [array("Q") for _ in range(n_shards)]
+    bases_offsets = [array("I", [0]) for _ in range(n_shards)]
+    rows_data = [array("I") for _ in range(n_shards)]
+    rows_offsets = [array("I", [0]) for _ in range(n_shards)]
+    shift_mod = n_shards
+    for bases, rows in zip(state.dom_bases, state.dom_rows):
+        if len(bases) == 1:
+            segments = (((bases[0] >> 32) % shift_mod, bases),)
+        else:
+            by_shard: dict[int, list[int]] = {}
+            for base in bases:
+                by_shard.setdefault((base >> 32) % shift_mod, []).append(base)
+            segments = tuple(by_shard.items())
+        for shard, shard_bases in segments:
+            bases_data[shard].extend(shard_bases)
+            bases_offsets[shard].append(len(bases_data[shard]))
+            rows_data[shard].extend(rows)
+            rows_offsets[shard].append(len(rows_data[shard]))
+    return [
+        (
+            shard,
+            bases_data[shard],
+            bases_offsets[shard],
+            rows_data[shard],
+            rows_offsets[shard],
+            shard == fail_shard,
+        )
+        for shard in range(n_shards)
+    ]
+
+
+def accumulate_shard(payload: tuple) -> tuple[int, array, array]:
+    """Step-3 accumulation for one shard (the worker entry point).
+
+    Runs in a ``multiprocessing`` worker but is a pure function, so the
+    differential tests also call it in-process.  Returns the shard id
+    and the shard-local counter flattened into two parallel arrays
+    (packed keys, counts) — the pickle-light return leg.  Any failure
+    is re-raised tagged with the shard id, so the parent's
+    :class:`ShardedDetectionError` always names the failing shard.
+    """
+    shard = payload[0]
+    try:
+        return _accumulate(payload)
+    except Exception as exc:
+        raise RuntimeError(f"shard {shard} failed: {exc}") from exc
+
+
+def _accumulate(payload: tuple) -> tuple[int, array, array]:
+    """The untagged accumulation body of :func:`accumulate_shard`."""
+    shard, bases_data, bases_offsets, rows_data, rows_offsets, fail = payload
+    if fail:
+        raise RuntimeError("injected failure")
+    packed: list[int] = []
+    append = packed.append
+    extend = packed.extend
+    for segment in range(len(bases_offsets) - 1):
+        b_lo = bases_offsets[segment]
+        b_hi = bases_offsets[segment + 1]
+        # tolist() once per segment: iterating a list beats iterating an
+        # array slice in the hot comprehension below.
+        rows = rows_data[rows_offsets[segment] : rows_offsets[segment + 1]].tolist()
+        if b_hi - b_lo == 1:
+            base = bases_data[b_lo]
+            if len(rows) == 1:
+                append(base | rows[0])
+            else:
+                extend([base | row for row in rows])
+        else:
+            for base in bases_data[b_lo:b_hi].tolist():
+                extend([base | row for row in rows])
+    counts = Counter(packed)
+    return shard, array("Q", counts.keys()), array("I", counts.values())
+
+
+class ShardedSubstrate(ColumnarSubstrate):
+    """Multi-process execution of the columnar engine's Step 3.
+
+    Identical results to :class:`ColumnarSubstrate` by construction
+    (disjoint shard key spaces; same scoring arithmetic) and by test
+    (the property-based differential suite).  ``workers=0`` means "use
+    ``os.cpu_count()``"; small accumulations transparently fall back to
+    the inherited single-process path, so the engine is safe to use as
+    a default on any input size.
+
+    The instance carries the same reusable domain intern pool as its
+    parent — thread one instance through
+    :func:`repro.analysis.pipeline.detect_series` and every snapshot
+    shares it.  Workers never see the pool; they operate purely on
+    interned integer arrays.
+    """
+
+    name = "sharded"
+
+    #: What :attr:`workers` resets to when the shared registry instance
+    #: is resolved by name without an explicit worker count (see
+    #: :func:`repro.core.substrate.get_substrate`): ``0`` = all cores.
+    DEFAULT_WORKERS: ClassVar[int] = 0
+
+    #: Start method for worker processes: ``fork`` where the platform
+    #: offers it (cheap, no re-import), else the platform default.
+    START_METHOD: ClassVar[str | None] = (
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+
+    def __init__(
+        self,
+        workers: int = 0,
+        min_pair_rows: int = DEFAULT_MIN_PAIR_ROWS,
+    ) -> None:
+        super().__init__()
+        #: Worker process count; ``0`` resolves to ``os.cpu_count()``.
+        self.workers = workers
+        #: Fallback threshold, in emitted Step-3 pair rows.
+        self.min_pair_rows = min_pair_rows
+        #: How the most recent :meth:`pair_counts` call executed —
+        #: ``{"mode": "sharded" | "fallback", "workers": ..., "shards":
+        #: ..., "pair_rows": ...}``; introspection for tests/benches.
+        self.last_run: dict | None = None
+        # Crash-path test hook: mark one shard to fail inside its worker.
+        self._fail_shard_for_testing: int | None = None
+
+    def effective_workers(self) -> int:
+        """Resolve :attr:`workers` (``0``/negative → ``os.cpu_count()``)."""
+        workers = self.workers
+        if workers is None or workers <= 0:
+            workers = os.cpu_count() or 1
+        return max(1, int(workers))
+
+    def pair_counts(self, state: _ColumnarState):  # type: ignore[override]
+        """Step 3 over *state*, sharded across worker processes.
+
+        Overrides the columnar staticmethod as an instance method (the
+        base ``select`` dispatches through ``self``, so Steps 4+ run
+        unmodified on the merged counts).  The merged mapping's
+        *contents* are identical whatever the worker count; iteration
+        order follows the shard layout and is not part of the contract
+        (nothing downstream observes it).
+        """
+        n_workers = self.effective_workers()
+        pair_rows = estimate_pair_rows(state)
+        if (
+            n_workers < 2 or pair_rows < self.min_pair_rows
+        ) and self._fail_shard_for_testing is None:
+            self.last_run = {
+                "mode": "fallback",
+                "workers": n_workers,
+                "shards": 0,
+                "pair_rows": pair_rows,
+            }
+            return ColumnarSubstrate.pair_counts(state)
+
+        payloads = build_shard_payloads(
+            state, n_workers, fail_shard=self._fail_shard_for_testing
+        )
+        context = multiprocessing.get_context(self.START_METHOD)
+        try:
+            with context.Pool(processes=n_workers) as pool:
+                shard_results = pool.map(accumulate_shard, payloads)
+        except Exception as exc:
+            raise ShardedDetectionError(
+                f"sharded Step-3 accumulation failed "
+                f"({n_workers} workers): {exc}"
+            ) from exc
+
+        # Disjoint key spaces: a plain union merges without conflict.
+        # Filled via dict.update (Counter.update would *add*, a wasted
+        # semantic here, and Counter(merged_dict) would copy the whole
+        # table a second time).  Counter like the base class, since
+        # callers may use its API; iteration order follows the shard
+        # layout and nothing downstream observes it (scoring reduces
+        # over all pairs, publishing sorts its rows).
+        merged: Counter = Counter()
+        for _shard, keys, counts in shard_results:
+            dict.update(merged, zip(keys, counts))
+        self.last_run = {
+            "mode": "sharded",
+            "workers": n_workers,
+            "shards": len(payloads),
+            "pair_rows": pair_rows,
+        }
+        return merged
+
+
+SUBSTRATES[ShardedSubstrate.name] = ShardedSubstrate

@@ -18,6 +18,12 @@ ship:
   Shared-domain sets materialize lazily, only for the pairs that survive
   best-match selection.
 
+A third engine, ``"sharded"`` (:mod:`repro.core.parallel`), extends the
+columnar substrate by partitioning the packed pair space by v4 group
+key and running the Step 3 accumulation in ``multiprocessing`` workers;
+it registers itself here on import and falls back to the columnar path
+on small inputs.
+
 Both substrates are exact: for the same index, metric and mode they
 produce identical :class:`~repro.core.siblings.SiblingSet` contents
 (pairs, similarities, tie sets and shared-domain sets) — enforced by
@@ -460,7 +466,20 @@ DEFAULT_SUBSTRATE = ColumnarSubstrate.name
 _shared_instances: dict[str, Substrate] = {}
 
 
-def get_substrate(spec: "str | Substrate | None" = None) -> Substrate:
+def _ensure_registered() -> None:
+    """Import the modules whose substrates register on import.
+
+    :mod:`repro.core.parallel` depends on this module, so it cannot be
+    imported at the top without a cycle; resolving lazily here keeps
+    ``get_substrate("sharded")`` working no matter which module the
+    process imported first.
+    """
+    from repro.core import parallel  # noqa: F401  (registers "sharded")
+
+
+def get_substrate(
+    spec: "str | Substrate | None" = None, workers: int | None = None
+) -> Substrate:
     """Resolve *spec* to a substrate instance.
 
     ``None`` means :data:`DEFAULT_SUBSTRATE`.  Names resolve to a
@@ -470,18 +489,38 @@ def get_substrate(spec: "str | Substrate | None" = None) -> Substrate:
     long-lived processes crossing unrelated universes should call
     ``get_substrate().reset_pool()`` between studies or use per-study
     instances.
+
+    *workers* configures engines that execute in parallel (the sharded
+    substrate's worker-process count; ``0`` means ``os.cpu_count()``).
+    Substrates without a worker pool ignore it.  The knob never leaks
+    between callers: resolving a *name* with ``workers=None`` resets
+    the shared instance to its class default, while passing an explicit
+    :class:`Substrate` instance leaves its configuration untouched
+    unless *workers* is given (so e.g. ``detect_series`` can configure
+    an engine once and thread it through per-date calls).  A caller
+    that needs a worker count pinned across unrelated calls should own
+    its instance (``ShardedSubstrate(workers=...)``) rather than rely
+    on the name-resolved singleton, which any caller may reconfigure.
     """
+    _ensure_registered()
     if isinstance(spec, Substrate):
-        return spec
-    name = DEFAULT_SUBSTRATE if spec is None else spec
-    try:
-        factory = SUBSTRATES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown substrate {name!r}; choose from {sorted(SUBSTRATES)}"
-        ) from None
-    instance = _shared_instances.get(name)
-    if instance is None:
-        instance = factory()
-        _shared_instances[name] = instance
+        instance = spec
+    else:
+        name = DEFAULT_SUBSTRATE if spec is None else spec
+        try:
+            factory = SUBSTRATES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown substrate {name!r}; choose from {sorted(SUBSTRATES)}"
+            ) from None
+        instance = _shared_instances.get(name)
+        if instance is None:
+            instance = factory()
+            _shared_instances[name] = instance
+        if workers is None:
+            default_workers = getattr(type(instance), "DEFAULT_WORKERS", None)
+            if default_workers is not None:
+                instance.workers = default_workers
+    if workers is not None and hasattr(instance, "workers"):
+        instance.workers = workers
     return instance

@@ -1,9 +1,63 @@
-"""Shared fixtures: one tiny universe per test session."""
+"""Shared fixtures: one tiny universe per test session.
+
+Also registers the hypothesis profiles the property-based differential
+suite (``test_differential_engines.py``) runs under:
+
+* ``dev`` (default) — a handful of examples per property, deadline
+  disabled, so the tier-1 run stays fast.
+* ``differential`` — the blocking CI job's profile: more examples,
+  deadline disabled, and failure blobs printed so any counterexample is
+  reproducible from the CI log (``HYPOTHESIS_PROFILE=differential``).
+"""
+
+import os
 
 import pytest
 
 from repro.dates import REFERENCE_DATE
 from repro.synth import build_universe
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # "dev" keeps hypothesis's stock example budget (the pre-existing
+    # nettypes/metrics property tests rely on it); it only disables the
+    # deadline so slow CI containers don't flake.  The expensive
+    # process-forking differential tests carry their own explicit
+    # @settings(max_examples=...) caps instead.
+    settings.register_profile(
+        "dev",
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "differential",
+        deadline=None,
+        max_examples=100,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis ships with the CI image
+    pass
+
+
+def as_mapping(siblings):
+    """Every observable field of every pair, keyed by the prefix pair.
+
+    The shared definition of "two engines agree" used by the substrate
+    equivalence, differential, and parallel-engine suites — extend it
+    here (not in one suite) when :class:`SiblingPair` grows a field.
+    """
+    return {
+        (pair.v4_prefix, pair.v6_prefix): (
+            pair.similarity,
+            pair.shared_domains,
+            pair.v4_domain_count,
+            pair.v6_domain_count,
+        )
+        for pair in siblings
+    }
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,280 @@
+"""Determinism, edge cases, and crash paths of the sharded engine.
+
+The property-based suite (``test_differential_engines.py``) proves the
+sharded engine agrees with the single-process engines on randomized
+inputs; this module pins the operational contract around it:
+
+* worker-count invariance — 1, 2, and ``cpu_count`` shards produce
+  identical output (pair-counts compared as mappings; iteration order
+  is explicitly not part of the contract);
+* degenerate inputs — empty index, a single co-occurrence row, more
+  shards than v4 rows (guaranteed empty shards);
+* the automatic columnar fallback below the pair-row threshold;
+* a failing worker surfaces a :class:`ShardedDetectionError` that names
+  the shard, instead of hanging the run;
+* registry / CLI wiring — ``get_substrate("sharded")``, the ``workers``
+  pass-through, and byte-identical ``detect`` CSV exports between
+  ``--substrate columnar`` and ``--substrate sharded``.
+"""
+
+import os
+
+import pytest
+
+from conftest import as_mapping
+from repro.cli import main
+from repro.core.domainsets import PrefixDomainIndex, build_index
+from repro.core.parallel import (
+    DEFAULT_MIN_PAIR_ROWS,
+    ShardedDetectionError,
+    ShardedSubstrate,
+    build_shard_payloads,
+    estimate_pair_rows,
+)
+from repro.core.substrate import ColumnarSubstrate, get_substrate
+from repro.dates import REFERENCE_DATE
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+
+
+@pytest.fixture(scope="module")
+def tiny_index(tiny_universe):
+    """One detection-ready index shared by every test here."""
+    return build_index(
+        tiny_universe.snapshot_at(REFERENCE_DATE),
+        tiny_universe.annotator_at(REFERENCE_DATE),
+    )
+
+
+_as_mapping = as_mapping
+
+
+def _single_row_index() -> PrefixDomainIndex:
+    """One domain, one v4 prefix, one v6 prefix: a single packed row."""
+    index = PrefixDomainIndex(date=REFERENCE_DATE)
+    v4 = Prefix.from_address(IPV4, 10 << 24, 24)
+    v6 = Prefix.from_address(IPV6, 0x2001_0DB8 << 96, 48)
+    index.domain_v4_prefixes["only.example"] = {v4}
+    index.domain_v6_prefixes["only.example"] = {v6}
+    index.v4_domains[v4] = {"only.example"}
+    index.v6_domains[v6] = {"only.example"}
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def test_worker_count_invariance(tiny_index):
+    """1, 2, cpu_count, and 5 workers give identical results.
+
+    Iteration order of the merged counts is NOT part of the contract
+    (workers=1 takes the columnar fallback with its own order), so the
+    counts are compared as mappings — exactly how ``select`` consumes
+    them.
+    """
+    counts_by_workers = {}
+    results_by_workers = {}
+    for workers in sorted({1, 2, os.cpu_count() or 1, 5}):
+        engine = ShardedSubstrate(workers=workers, min_pair_rows=0)
+        results_by_workers[workers] = _as_mapping(engine.select(tiny_index))
+        state = engine.prepare(tiny_index)
+        counts_by_workers[workers] = dict(engine.pair_counts(state))
+
+    baseline_result = results_by_workers.popitem()[1]
+    assert all(
+        result == baseline_result for result in results_by_workers.values()
+    )
+    baseline_counts = counts_by_workers[1]
+    assert all(
+        counts == baseline_counts for counts in counts_by_workers.values()
+    )
+
+
+def test_repeat_runs_are_stable(tiny_index):
+    """The same engine re-run produces the same answer (cached state)."""
+    engine = ShardedSubstrate(workers=2, min_pair_rows=0)
+    first = _as_mapping(engine.select(tiny_index))
+    second = _as_mapping(engine.select(tiny_index))
+    assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_empty_index():
+    """No domains at all: empty payloads, empty result, no crash."""
+    engine = ShardedSubstrate(workers=2, min_pair_rows=0)
+    result = engine.select(PrefixDomainIndex(date=REFERENCE_DATE))
+    assert len(result) == 0
+    assert engine.last_run["mode"] == "sharded"
+
+
+def test_single_row_index():
+    """One packed row still round-trips through the worker pool."""
+    engine = ShardedSubstrate(workers=2, min_pair_rows=0)
+    result = engine.select(_single_row_index())
+    assert engine.last_run == {
+        "mode": "sharded",
+        "workers": 2,
+        "shards": 2,
+        "pair_rows": 1,
+    }
+    [pair] = list(result)
+    assert pair.similarity == 1.0
+    assert pair.shared_domains == frozenset({"only.example"})
+
+
+def test_more_shards_than_rows_leaves_empty_shards(tiny_index):
+    """Empty shards are dispatched and contribute nothing."""
+    index = _single_row_index()
+    engine = ShardedSubstrate(workers=4, min_pair_rows=0)
+    state = engine.prepare(index)
+    payloads = build_shard_payloads(state, 4)
+    populated = [p for p in payloads if len(p[1])]
+    assert len(payloads) == 4 and len(populated) == 1
+    assert _as_mapping(engine.select(index)) == _as_mapping(
+        ColumnarSubstrate().select(index)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fallback
+# ---------------------------------------------------------------------------
+
+
+def test_fallback_below_threshold(tiny_index):
+    """Small accumulations run single-process, results unchanged."""
+    engine = ShardedSubstrate(workers=2)  # default threshold
+    state = engine.prepare(tiny_index)
+    assert estimate_pair_rows(state) < DEFAULT_MIN_PAIR_ROWS
+    result = engine.select(tiny_index)
+    assert engine.last_run["mode"] == "fallback"
+    assert engine.last_run["pair_rows"] == estimate_pair_rows(state)
+    assert _as_mapping(result) == _as_mapping(
+        ColumnarSubstrate().select(tiny_index)
+    )
+
+
+def test_fallback_on_single_worker(tiny_index):
+    """workers=1 never pays for a pool, even with the threshold at 0."""
+    engine = ShardedSubstrate(workers=1, min_pair_rows=0)
+    engine.select(tiny_index)
+    assert engine.last_run["mode"] == "fallback"
+
+
+def test_workers_zero_means_cpu_count():
+    assert ShardedSubstrate(workers=0).effective_workers() == (
+        os.cpu_count() or 1
+    )
+    assert ShardedSubstrate(workers=3).effective_workers() == 3
+
+
+# ---------------------------------------------------------------------------
+# Crash path
+# ---------------------------------------------------------------------------
+
+
+def test_failing_worker_raises_clear_error(tiny_index):
+    """A crashed shard worker becomes a ShardedDetectionError, not a hang."""
+    engine = ShardedSubstrate(workers=2, min_pair_rows=0)
+    engine._fail_shard_for_testing = 1
+    with pytest.raises(ShardedDetectionError, match="shard 1"):
+        engine.select(tiny_index)
+    # The engine recovers once the fault is removed.
+    engine._fail_shard_for_testing = None
+    assert _as_mapping(engine.select(tiny_index)) == _as_mapping(
+        ColumnarSubstrate().select(tiny_index)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry / CLI wiring
+# ---------------------------------------------------------------------------
+
+
+def test_get_substrate_configures_workers():
+    engine = get_substrate("sharded", workers=2)
+    assert isinstance(engine, ShardedSubstrate)
+    assert engine.workers == 2
+    # Name resolution without an explicit count resets to the class
+    # default -- one caller's worker count never leaks into the next.
+    again = get_substrate("sharded")
+    assert again is engine  # shared instance
+    assert again.workers == ShardedSubstrate.DEFAULT_WORKERS
+    # ... but a caller-owned instance keeps its configuration.
+    own = ShardedSubstrate(workers=3)
+    assert get_substrate(own) is own and own.workers == 3
+    # workers passes through harmlessly for single-process engines.
+    assert not hasattr(get_substrate("columnar", workers=2), "workers")
+
+
+def test_cli_detect_output_bit_identical(tmp_path):
+    """`detect --substrate sharded` CSV == `--substrate columnar` CSV."""
+    columnar_out = tmp_path / "columnar.csv"
+    sharded_out = tmp_path / "sharded.csv"
+    assert (
+        main(
+            [
+                "detect",
+                "--scenario",
+                "tiny",
+                "--substrate",
+                "columnar",
+                "--format",
+                "csv",
+                "-o",
+                str(columnar_out),
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "detect",
+                "--scenario",
+                "tiny",
+                "--substrate",
+                "sharded",
+                "--workers",
+                "2",
+                "--format",
+                "csv",
+                "-o",
+                str(sharded_out),
+            ]
+        )
+        == 0
+    )
+    assert columnar_out.read_text() == sharded_out.read_text()
+
+
+def test_cli_detect_series_sharded(tmp_path, capsys):
+    """The longitudinal CLI accepts the sharded engine + worker count."""
+    out = tmp_path / "series.csv"
+    code = main(
+        [
+            "detect-series",
+            "--scenario",
+            "tiny",
+            "--offsets",
+            "stability",
+            "--substrate",
+            "sharded",
+            "--workers",
+            "2",
+            "--format",
+            "csv",
+            "-o",
+            str(out),
+        ]
+    )
+    assert code == 0
+    lines = out.read_text().strip().splitlines()
+    assert lines[0] == "label,date,pairs,perfect_share,mean_jaccard"
+    assert len(lines) == 8  # header + 7 stability offsets
+    assert lines[1].startswith("Day 0,")

@@ -1,0 +1,172 @@
+"""Concurrency stress for the query service across snapshot hot-swaps.
+
+:class:`SiblingQueryService` promises two things under concurrency:
+
+* a :meth:`batch` response is answered entirely against the generation
+  current at entry — a concurrent :meth:`swap` can never mix two
+  snapshots within one response;
+* the LRU answer cache is generation-keyed and cleared inside the swap
+  critical section, so a cached answer from an old index can never be
+  served as if it belonged to a newer one.
+
+These tests make every generation *distinguishable* (the published
+jaccard value and the snapshot date both encode the generation number)
+and then hammer the service from client threads while a publisher
+thread swaps through dozens of generations.  Any mixed batch or stale
+cache hit shows up as a value that contradicts its own row's snapshot
+field.
+"""
+
+import datetime
+import threading
+import time
+
+from repro.nettypes.prefix import Prefix
+from repro.publish import PublishedPair
+from repro.serving.index import SiblingLookupIndex
+from repro.serving.service import SiblingQueryService
+
+V4 = Prefix.parse("192.0.2.0/24")
+V6 = Prefix.parse("2001:db8::/32")
+BASE_DATE = datetime.date(2024, 1, 1)
+GENERATIONS = 40
+
+#: Hit-heavy with repeats (cache exercised) plus guaranteed misses.
+QUERIES = [
+    "192.0.2.7",
+    "192.0.2.9",
+    "2001:db8::1",
+    "203.0.113.5",
+    "192.0.2.7",
+    "2001:db8:dead::beef",
+    "198.51.100.1",
+    "192.0.2.200",
+] * 3
+
+
+def _jaccard_of(generation: int) -> float:
+    return round(0.001 * generation, 6)
+
+
+def _snapshot_of(generation: int) -> datetime.date:
+    return BASE_DATE + datetime.timedelta(days=generation)
+
+
+def _make_index(generation: int) -> SiblingLookupIndex:
+    """One pair whose jaccard and snapshot date encode *generation*."""
+    pair = PublishedPair(
+        v4_prefix=V4,
+        v6_prefix=V6,
+        jaccard=_jaccard_of(generation),
+        shared_domains=generation + 1,
+        v4_domains=generation + 2,
+        v6_domains=generation + 3,
+        same_org=None,
+        rov_status=None,
+    )
+    return SiblingLookupIndex.from_pairs([pair], _snapshot_of(generation))
+
+
+#: snapshot isoformat → the jaccard every answer under it must carry.
+EXPECTED = {
+    _snapshot_of(generation).isoformat(): _jaccard_of(generation)
+    for generation in range(GENERATIONS + 1)
+}
+
+
+def _check_batch(results: list[dict], errors: list[str]) -> None:
+    """One batch must be internally consistent with a single generation."""
+    snapshots = {answer.get("snapshot") for answer in results}
+    if len(snapshots) != 1:
+        errors.append(f"batch mixed generations: {sorted(snapshots)}")
+        return
+    snapshot = snapshots.pop()
+    if snapshot not in EXPECTED:
+        errors.append(f"unknown snapshot {snapshot!r}")
+        return
+    expected_jaccard = EXPECTED[snapshot]
+    for answer in results:
+        if answer["found"]:
+            jaccards = {row["jaccard"] for row in answer["pairs"]}
+            if jaccards != {expected_jaccard}:
+                errors.append(
+                    f"answer under snapshot {snapshot} carries jaccard "
+                    f"{sorted(jaccards)}, expected {expected_jaccard} "
+                    f"(stale cache or mixed swap)"
+                )
+
+
+def test_batches_never_mix_generations_under_swap_storm():
+    """Threaded clients vs a publisher swapping 40 generations."""
+    service = SiblingQueryService(_make_index(0), cache_size=64)
+    errors: list[str] = []
+    batches_done = [0] * 4
+    publisher_done = threading.Event()
+
+    def client(slot: int) -> None:
+        while not publisher_done.is_set():
+            _check_batch(service.batch(QUERIES), errors)
+            batches_done[slot] += 1
+        # One final batch against the settled last generation.
+        _check_batch(service.batch(QUERIES), errors)
+        batches_done[slot] += 1
+
+    def publisher() -> None:
+        for generation in range(1, GENERATIONS + 1):
+            service.swap(_make_index(generation))
+            # Yield so client batches actually interleave with swaps.
+            time.sleep(0.002)
+        publisher_done.set()
+
+    clients = [
+        threading.Thread(target=client, args=(slot,)) for slot in range(4)
+    ]
+    for thread in clients:
+        thread.start()
+    publisher_thread = threading.Thread(target=publisher)
+    publisher_thread.start()
+    publisher_thread.join(timeout=60)
+    for thread in clients:
+        thread.join(timeout=60)
+    assert not publisher_thread.is_alive() and not any(
+        thread.is_alive() for thread in clients
+    ), "stress threads did not finish"
+
+    assert not errors, errors[:5]
+    assert all(done >= 1 for done in batches_done)
+    assert service.generation == GENERATIONS + 1
+    # The settled service answers only from the final generation.
+    final = service.batch(QUERIES)
+    assert {answer["snapshot"] for answer in final} == {
+        _snapshot_of(GENERATIONS).isoformat()
+    }
+
+
+def test_cache_never_serves_stale_generation():
+    """A hot cache entry must die with the generation that filled it."""
+    service = SiblingQueryService(_make_index(0), cache_size=64)
+    first = service.lookup("192.0.2.7")
+    again = service.lookup("192.0.2.7")
+    assert first == again
+    stats = service.snapshot_info()["cache"]
+    assert stats["hits"] >= 1, "second lookup should have hit the cache"
+
+    for generation in range(1, 6):
+        service.swap(_make_index(generation))
+        answer = service.lookup("192.0.2.7")
+        assert answer["snapshot"] == _snapshot_of(generation).isoformat()
+        assert {row["jaccard"] for row in answer["pairs"]} == {
+            _jaccard_of(generation)
+        }
+
+
+def test_swap_returns_previous_and_bumps_generation_once():
+    """swap() is atomic bookkeeping: previous index back, +1 generation."""
+    index_a = _make_index(1)
+    index_b = _make_index(2)
+    service = SiblingQueryService(index_a)
+    generation_before = service.generation
+    previous = service.swap(index_b)
+    assert previous is index_a
+    assert service.generation == generation_before + 1
+    assert service.index is index_b

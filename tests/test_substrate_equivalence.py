@@ -11,6 +11,8 @@ import dataclasses
 
 import pytest
 
+from conftest import as_mapping
+
 from repro.core.detection import BestMatchMode
 from repro.core.domainsets import build_index
 from repro.core.metrics import METRICS_FROM_COUNTS
@@ -55,17 +57,7 @@ def index(request):
     )
 
 
-def _as_mapping(siblings):
-    """Every observable field of every pair, keyed by the prefix pair."""
-    return {
-        (pair.v4_prefix, pair.v6_prefix): (
-            pair.similarity,
-            pair.shared_domains,
-            pair.v4_domain_count,
-            pair.v6_domain_count,
-        )
-        for pair in siblings
-    }
+_as_mapping = as_mapping
 
 
 @pytest.mark.parametrize("metric", sorted(METRICS_FROM_COUNTS))
@@ -151,8 +143,8 @@ def test_reset_pool_invalidates_cached_state():
 
 
 def test_registry_contents():
-    """Both engines are registered; the default resolves and is shared."""
-    assert set(SUBSTRATES) == {"reference", "columnar"}
+    """All engines are registered; the default resolves and is shared."""
+    assert set(SUBSTRATES) == {"reference", "columnar", "sharded"}
     assert DEFAULT_SUBSTRATE in SUBSTRATES
     assert get_substrate() is get_substrate(DEFAULT_SUBSTRATE)
     with pytest.raises(KeyError):
