@@ -7,6 +7,15 @@ once so a longitudinal run reuses one interned domain table across every
 snapshot it detects on.  A ``workers=`` argument rides along everywhere
 for the parallel ``"sharded"`` engine (worker-process count, ``0`` =
 all cores); single-process substrates ignore it.
+
+:func:`detect_series` additionally offers ``incremental=True``: date 0
+is detected from scratch, every later date applies the snapshot delta to
+the *same* evolving index (re-annotating only churned domains) and lets
+the substrate patch its persistent Step-3 counters, so detection cost
+scales with daily churn instead of dataset size.  The mode is exact —
+bit-identical to full recomputation at every date — because delta
+application is gated on the annotator's content signature: a date whose
+routing tables changed rebuilds from scratch, automatically.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ import datetime
 from typing import Iterable
 
 from repro.core.detection import detect_with_index
-from repro.core.domainsets import PrefixDomainIndex
+from repro.core.domainsets import PrefixDomainIndex, build_index
 from repro.core.siblings import SiblingSet
 from repro.core.sptuner import SpTunerMS, TunerConfig
 from repro.core.substrate import Substrate, get_substrate
@@ -57,6 +66,7 @@ def detect_series(
     dates: Iterable[datetime.date],
     substrate: "str | Substrate | None" = None,
     workers: int | None = None,
+    incremental: bool = False,
 ) -> list[tuple[datetime.date, SiblingSet]]:
     """Detect siblings on every date, sharing one substrate instance.
 
@@ -66,12 +76,41 @@ def detect_series(
     snapshot with the same worker configuration while reusing that same
     intern pool (workers receive interned integer arrays, never the
     pool itself).
+
+    With ``incremental=True`` the first date builds its index in full;
+    each subsequent date computes the
+    :class:`~repro.dns.openintel.SnapshotDelta` against the previous
+    snapshot and applies it to the same evolving index, provided the
+    annotator's content signature is unchanged (otherwise that date
+    rebuilds from scratch — routing changes can re-annotate *any*
+    domain, not just churned ones).  Substrates patch their cached
+    columnar view and persistent Step-3 counters from the recorded
+    index deltas, so per-date cost tracks churn.  Results are
+    bit-identical to ``incremental=False``.
     """
     engine = get_substrate(substrate, workers=workers)
-    return [
-        (date, detect_at(universe, date, substrate=engine)[0])
-        for date in dates
-    ]
+    if not incremental:
+        return [
+            (date, detect_at(universe, date, substrate=engine)[0])
+            for date in dates
+        ]
+
+    results: list[tuple[datetime.date, SiblingSet]] = []
+    index: PrefixDomainIndex | None = None
+    previous_snapshot = None
+    previous_signature = None
+    for date in dates:
+        snapshot = universe.snapshot_at(date)
+        annotator = universe.annotator_at(date)
+        signature = annotator.signature()
+        if index is None or signature != previous_signature:
+            index = build_index(snapshot, annotator)
+        else:
+            index.apply_delta(previous_snapshot.delta_to(snapshot), annotator)
+        results.append((date, engine.select(index)))
+        previous_snapshot = snapshot
+        previous_signature = signature
+    return results
 
 
 def serve_series(
@@ -80,6 +119,7 @@ def serve_series(
     substrate: "str | Substrate | None" = None,
     cache_size: int = 4096,
     workers: int | None = None,
+    incremental: bool = False,
 ):
     """Detect on every date and publish each snapshot into a fresh
     :class:`~repro.serving.service.SiblingQueryService`.
@@ -87,17 +127,27 @@ def serve_series(
     The longitudinal bridge between detection and serving: snapshots
     are compiled into immutable lookup indexes and hot-swapped into the
     service in date order, exactly as a production publisher would roll
-    a daily list forward.  The returned service answers for the *last*
-    date; its ``generation`` counter reflects the whole series.
+    a daily list forward.  A date whose sibling list is *identical* to
+    the one already being served skips the lookup-index recompile and
+    swap entirely — the service keeps answering from the equal index it
+    already holds, and its ``generation`` counter reflects only real
+    publishes.  The returned service answers for the *last* date.
+    ``incremental=True`` detects via snapshot deltas (see
+    :func:`detect_series`).
     """
     from repro.serving.index import SiblingLookupIndex
     from repro.serving.service import SiblingQueryService
 
     service = SiblingQueryService(cache_size=cache_size)
+    published: SiblingSet | None = None
     for _date, siblings in detect_series(
-        universe, dates, substrate=substrate, workers=workers
+        universe, dates, substrate=substrate, workers=workers,
+        incremental=incremental,
     ):
+        if published is not None and published.same_pairs(siblings):
+            continue
         service.swap(SiblingLookupIndex.from_siblings(siblings))
+        published = siblings
     return service
 
 

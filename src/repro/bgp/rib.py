@@ -45,6 +45,9 @@ class Rib:
             IPV4: PatriciaTrie(IPV4),
             IPV6: PatriciaTrie(IPV6),
         }
+        self._mutations = 0
+        self._signature: frozenset | None = None
+        self._signature_mutations = -1
 
     # -- mutation ---------------------------------------------------------------
 
@@ -56,6 +59,7 @@ class Rib:
         existing: frozenset[int] | None = trie.get(prefix)
         origins = (existing or frozenset()) | {origin}
         trie.insert(prefix, origins)
+        self._mutations += 1
 
     def withdraw(self, prefix: Prefix, origin: int | None = None) -> None:
         """Withdraw one origin's announcement (or the whole prefix)."""
@@ -63,6 +67,7 @@ class Rib:
         existing: frozenset[int] | None = trie.get(prefix)
         if existing is None:
             raise KeyError(str(prefix))
+        self._mutations += 1
         if origin is None:
             trie.remove(prefix)
             return
@@ -71,6 +76,30 @@ class Rib:
             trie.insert(prefix, remaining)
         else:
             trie.remove(prefix)
+
+    # -- content identity --------------------------------------------------------
+
+    def signature(self) -> frozenset:
+        """A value identifying this RIB's *contents* (not its identity).
+
+        Two RIBs with the same announcements — prefixes and origin sets
+        — return equal signatures even when they are distinct objects
+        (e.g. per-month snapshots that happen not to differ).  The
+        incremental longitudinal pipeline compares signatures between
+        consecutive dates: equal signatures guarantee every address
+        annotates identically on both dates, which is the precondition
+        for applying a snapshot delta instead of rebuilding the index.
+
+        The frozenset is cached and invalidated by announce/withdraw,
+        so repeated same-RIB comparisons hit the ``is``-equality fast
+        path inside ``frozenset.__eq__``.
+        """
+        if self._signature is None or self._signature_mutations != self._mutations:
+            self._signature = frozenset(
+                (route.prefix, route.origins) for route in self.routes()
+            )
+            self._signature_mutations = self._mutations
+        return self._signature
 
     # -- queries ------------------------------------------------------------------
 

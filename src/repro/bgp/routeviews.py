@@ -83,6 +83,22 @@ class PrefixAnnotator:
             < self._missing_fraction
         )
 
+    def signature(self) -> tuple:
+        """Content identity of the whole annotation function.
+
+        Equal signatures mean :meth:`annotate` returns the same route
+        for every address on both annotators: the primary and fallback
+        RIB contents agree and the deterministic missing-annotation
+        selection uses the same fraction.  This is what
+        ``detect_series(..., incremental=True)`` checks before reusing
+        the previous date's index via a snapshot delta.
+        """
+        return (
+            self._primary.signature(),
+            self._fallback.signature(),
+            self._missing_fraction,
+        )
+
     def annotate(self, version: int, value: int) -> Route | None:
         """The route covering the address, or None when unrouted/reserved."""
         if is_reserved(version, value):

@@ -98,6 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
     series.add_argument(
         "--output", "-o", help="write to this file instead of stdout"
     )
+    series.add_argument(
+        "--incremental",
+        action="store_true",
+        help="detect date 0 in full, then roll snapshot deltas forward "
+        "(bit-identical results; cost scales with daily churn)",
+    )
     _add_substrate_options(series)
 
     experiment = sub.add_parser("experiment", help="run a per-figure experiment")
@@ -213,6 +219,7 @@ def _cmd_detect_series(args: argparse.Namespace) -> int:
         [date for _, date in labelled],
         substrate=args.substrate,
         workers=args.workers,
+        incremental=args.incremental,
     )
 
     stream = open(args.output, "w") if args.output else sys.stdout

@@ -11,6 +11,16 @@ The index itself stays a dict-of-sets; the Step 3-4 substrates
 columnar substrate caches its interned posting-list view directly on the
 index object (one conversion per snapshot), so repeated detection runs —
 different metrics, best-match modes, or SP-Tuner sweeps — reuse it.
+
+The index is also *incrementally maintainable*: :meth:`PrefixDomainIndex.
+apply_delta` replays a :class:`~repro.dns.openintel.SnapshotDelta` in
+place (re-running the Steps 1-2 annotation only for the touched domains)
+and records the membership changes as an :class:`IndexDelta` in a short
+log.  Substrates use that log to *patch* their cached derived views
+instead of rebuilding them — the contract is the :attr:`PrefixDomainIndex.
+version` counter: every mutation bumps it (external mutators must call
+:meth:`PrefixDomainIndex.mark_mutated`), and any cached view keyed on an
+older version is stale.
 """
 
 from __future__ import annotations
@@ -20,9 +30,39 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.bgp.routeviews import PrefixAnnotator
-from repro.dns.openintel import DnsSnapshot
+from repro.dns.openintel import DnsSnapshot, SnapshotDelta
 from repro.nettypes.addr import IPV4, IPV6
 from repro.nettypes.prefix import Prefix
+
+#: How many :class:`IndexDelta` entries an index keeps for view patching;
+#: a cached view lagging further behind simply rebuilds from scratch.
+DELTA_LOG_LIMIT = 64
+
+#: Sentinel distinguishing "no precomputed annotation" from the ``None``
+#: that :func:`_annotate_entry` returns for an unusable entry.
+_UNANNOTATED = object()
+
+
+@dataclass(frozen=True, slots=True)
+class IndexDelta:
+    """Membership changes one :meth:`PrefixDomainIndex.apply_delta` made.
+
+    Each entry is ``(domain, v4 prefixes, v6 prefixes)`` — for
+    ``removed`` the membership the domain *had*, for ``added`` the
+    membership it *gained*.  A changed domain whose annotation kept the
+    exact same prefix sets (renumbering inside its prefixes) appears in
+    neither: its pair contributions are unchanged by construction, which
+    is precisely what makes delta application cheap under address churn.
+    """
+
+    version: int
+    date: datetime.date
+    removed: tuple[tuple[str, frozenset[Prefix], frozenset[Prefix]], ...]
+    added: tuple[tuple[str, frozenset[Prefix], frozenset[Prefix]], ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.removed or self.added)
 
 
 @dataclass
@@ -42,6 +82,17 @@ class PrefixDomainIndex:
     #: DS domains dropped because no address annotated on one family
     #: (reserved/unrouted).
     dropped_domains: int = 0
+    #: The labels behind :attr:`dropped_domains` — needed so deltas can
+    #: transition a domain between dropped and indexed exactly.
+    dropped_labels: set[str] = field(default_factory=set, repr=False)
+    #: Mutation counter.  Cached derived views (the columnar state) are
+    #: keyed on it; every in-place change must bump it, either through
+    #: :meth:`apply_delta` or :meth:`mark_mutated`.
+    version: int = 0
+    #: Recent (version, IndexDelta) entries, newest last, for view patching.
+    _delta_log: list[IndexDelta] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def domain_count(self) -> int:
@@ -60,6 +111,166 @@ class PrefixDomainIndex:
         table = self.v4_domains if prefix.version == IPV4 else self.v6_domains
         return frozenset(table.get(prefix, ()))
 
+    # -- mutation protocol ----------------------------------------------------
+
+    def mark_mutated(self) -> None:
+        """Declare an external in-place mutation of the index.
+
+        Bumps :attr:`version` without recording an :class:`IndexDelta`,
+        so cached derived views cannot patch across the change and must
+        rebuild.  Anything that edits the membership dicts by hand
+        (tests, ad-hoc analyses) must call this — the columnar cache's
+        structural fingerprint cannot detect count-preserving edits
+        such as moving a domain between equal-sized prefixes.
+        """
+        self.version += 1
+
+    def deltas_since(self, version: int) -> "list[IndexDelta] | None":
+        """The contiguous delta chain from *version* to :attr:`version`.
+
+        Returns ``None`` when the chain is broken — the log was trimmed,
+        or :meth:`mark_mutated` bumped the version without a delta — in
+        which case a cached view must rebuild rather than patch.
+        """
+        if version == self.version:
+            return []
+        chain = [d for d in self._delta_log if d.version > version]
+        if not chain:
+            return None
+        expected = range(version + 1, self.version + 1)
+        if [d.version for d in chain] != list(expected):
+            return None
+        return chain
+
+    def apply_delta(
+        self, delta: SnapshotDelta, annotator: PrefixAnnotator
+    ) -> IndexDelta:
+        """Replay a snapshot delta in place (incremental Steps 1-2).
+
+        Only the touched domains are re-annotated; everything else keeps
+        its groups, which is exact as long as the annotator's contents
+        are unchanged between the two dates (the caller's obligation —
+        :func:`repro.analysis.pipeline.detect_series` gates on
+        :meth:`repro.bgp.routeviews.PrefixAnnotator.signature`).  The
+        resulting index is equal to a from-scratch
+        :func:`build_index` of the new snapshot.
+
+        Returns the :class:`IndexDelta` describing the membership
+        changes; it is also appended to the index's delta log so cached
+        columnar views can patch themselves forward.
+        """
+        removed_entries: list[tuple[str, frozenset[Prefix], frozenset[Prefix]]] = []
+        added_entries: list[tuple[str, frozenset[Prefix], frozenset[Prefix]]] = []
+
+        for domain in delta.removed:
+            self._remove_label(domain, removed_entries)
+        for old_observation, observation in delta.changed:
+            domain = observation.domain
+            annotated = _UNANNOTATED
+            if (
+                observation.is_dual_stack
+                and domain in self.domain_v4_prefixes
+            ):
+                annotated = _annotate_entry(
+                    observation.v4_addresses, observation.v6_addresses, annotator
+                )
+                if annotated is not None:
+                    v4_prefixes, v4_addresses, v6_prefixes, v6_addresses = annotated
+                    if (
+                        v4_prefixes == self.domain_v4_prefixes[domain]
+                        and v6_prefixes == self.domain_v6_prefixes[domain]
+                    ):
+                        # Renumbered inside its prefixes: group membership
+                        # is untouched, only the concrete addresses move.
+                        self.domain_v4_addresses[domain] = v4_addresses
+                        self.domain_v6_addresses[domain] = v6_addresses
+                        continue
+            self._remove_label(domain, removed_entries)
+            self._insert_observation(
+                observation, annotator, added_entries, annotated=annotated
+            )
+        for observation in delta.added:
+            self._insert_observation(observation, annotator, added_entries)
+
+        self.date = delta.new_date
+        self.version += 1
+        index_delta = IndexDelta(
+            version=self.version,
+            date=self.date,
+            removed=tuple(removed_entries),
+            added=tuple(added_entries),
+        )
+        self._delta_log.append(index_delta)
+        if len(self._delta_log) > DELTA_LOG_LIMIT:
+            del self._delta_log[: -DELTA_LOG_LIMIT]
+        return index_delta
+
+    def _remove_label(
+        self,
+        domain: str,
+        removed_entries: list,
+    ) -> None:
+        """Remove one domain's contributions (no-op if unknown)."""
+        if domain in self.dropped_labels:
+            self.dropped_labels.discard(domain)
+            self.dropped_domains -= 1
+            return
+        v4_prefixes = self.domain_v4_prefixes.pop(domain, None)
+        if v4_prefixes is None:
+            return
+        v6_prefixes = self.domain_v6_prefixes.pop(domain)
+        del self.domain_v4_addresses[domain]
+        del self.domain_v6_addresses[domain]
+        for prefix in v4_prefixes:
+            members = self.v4_domains[prefix]
+            members.discard(domain)
+            if not members:
+                del self.v4_domains[prefix]
+        for prefix in v6_prefixes:
+            members = self.v6_domains[prefix]
+            members.discard(domain)
+            if not members:
+                del self.v6_domains[prefix]
+        removed_entries.append(
+            (domain, frozenset(v4_prefixes), frozenset(v6_prefixes))
+        )
+
+    def _insert_observation(
+        self,
+        observation,
+        annotator: PrefixAnnotator,
+        added_entries: list,
+        annotated=_UNANNOTATED,
+    ) -> None:
+        """Annotate and insert one observation (dual-stack ones only).
+
+        *annotated* lets the changed-domain path hand over an already
+        computed :func:`_annotate_entry` result (including ``None`` for
+        an unusable entry) so a prefix-moving domain is not annotated
+        twice per delta.
+        """
+        if not observation.is_dual_stack:
+            return
+        domain = observation.domain
+        if annotated is _UNANNOTATED:
+            annotated = _annotate_entry(
+                observation.v4_addresses, observation.v6_addresses, annotator
+            )
+        if annotated is None:
+            self.dropped_labels.add(domain)
+            self.dropped_domains += 1
+            return
+        v4_prefixes, v4_addresses, v6_prefixes, v6_addresses = annotated
+        self.domain_v4_prefixes[domain] = set(v4_prefixes)
+        self.domain_v6_prefixes[domain] = set(v6_prefixes)
+        self.domain_v4_addresses[domain] = v4_addresses
+        self.domain_v6_addresses[domain] = v6_addresses
+        for prefix in v4_prefixes:
+            self.v4_domains.setdefault(prefix, set()).add(domain)
+        for prefix in v6_prefixes:
+            self.v6_domains.setdefault(prefix, set()).add(domain)
+        added_entries.append((domain, v4_prefixes, v6_prefixes))
+
     def origin_asns(self, annotator_rib) -> tuple[set[int], set[int]]:
         """Origin AS sets of the indexed v4 and v6 prefixes."""
         v4 = set()
@@ -75,6 +286,43 @@ class PrefixDomainIndex:
         return v4, v6
 
 
+def _annotate_entry(
+    raw_v4: Iterable[int],
+    raw_v6: Iterable[int],
+    annotator: PrefixAnnotator,
+) -> "tuple[frozenset[Prefix], tuple[int, ...], frozenset[Prefix], tuple[int, ...]] | None":
+    """Annotate one entry's addresses; ``None`` when a family is unusable.
+
+    The shared Steps 1-2 kernel behind :func:`build_index_from_entries`
+    and :meth:`PrefixDomainIndex.apply_delta` — keeping both paths on one
+    implementation is what makes delta application exact.
+    """
+    v4_prefixes: set[Prefix] = set()
+    v4_addresses: list[int] = []
+    for address in raw_v4:
+        route = annotator.annotate(IPV4, address)
+        if route is not None:
+            v4_prefixes.add(route.prefix)
+            v4_addresses.append(address)
+    v6_prefixes: set[Prefix] = set()
+    v6_addresses: list[int] = []
+    for address in raw_v6:
+        route = annotator.annotate(IPV6, address)
+        if route is not None:
+            v6_prefixes.add(route.prefix)
+            v6_addresses.append(address)
+    if not v4_prefixes or not v6_prefixes:
+        # All addresses of one family were reserved or unrouted: the
+        # entry is no longer usable for prefix pairing.
+        return None
+    return (
+        frozenset(v4_prefixes),
+        tuple(v4_addresses),
+        frozenset(v6_prefixes),
+        tuple(v6_addresses),
+    )
+
+
 def build_index_from_entries(
     date: datetime.date,
     entries: "Iterable[tuple[str, Iterable[int], Iterable[int]]]",
@@ -88,29 +336,16 @@ def build_index_from_entries(
     """
     index = PrefixDomainIndex(date=date)
     for label, raw_v4, raw_v6 in entries:
-        v4_prefixes: set[Prefix] = set()
-        v4_addresses: list[int] = []
-        for address in raw_v4:
-            route = annotator.annotate(IPV4, address)
-            if route is not None:
-                v4_prefixes.add(route.prefix)
-                v4_addresses.append(address)
-        v6_prefixes: set[Prefix] = set()
-        v6_addresses: list[int] = []
-        for address in raw_v6:
-            route = annotator.annotate(IPV6, address)
-            if route is not None:
-                v6_prefixes.add(route.prefix)
-                v6_addresses.append(address)
-        if not v4_prefixes or not v6_prefixes:
-            # All addresses of one family were reserved or unrouted: the
-            # entry is no longer usable for prefix pairing.
+        annotated = _annotate_entry(raw_v4, raw_v6, annotator)
+        if annotated is None:
+            index.dropped_labels.add(label)
             index.dropped_domains += 1
             continue
-        index.domain_v4_prefixes[label] = v4_prefixes
-        index.domain_v6_prefixes[label] = v6_prefixes
-        index.domain_v4_addresses[label] = tuple(v4_addresses)
-        index.domain_v6_addresses[label] = tuple(v6_addresses)
+        v4_prefixes, v4_addresses, v6_prefixes, v6_addresses = annotated
+        index.domain_v4_prefixes[label] = set(v4_prefixes)
+        index.domain_v6_prefixes[label] = set(v6_prefixes)
+        index.domain_v4_addresses[label] = v4_addresses
+        index.domain_v6_addresses[label] = v6_addresses
         for prefix in v4_prefixes:
             index.v4_domains.setdefault(prefix, set()).add(label)
         for prefix in v6_prefixes:

@@ -18,9 +18,11 @@ agree, which is the experiment backing the Section 6 claim.
 from __future__ import annotations
 
 import datetime
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.bgp.routeviews import PrefixAnnotator
+from repro.nettypes.prefix import Prefix
 from repro.core.domainsets import (
     PrefixDomainIndex,
     build_index,
@@ -119,23 +121,86 @@ class InputAgreement:
         return self.compatible / self.pairs_a if self.pairs_a else 0.0
 
 
+class PrefixOverlapIndex:
+    """Which of a pair list's entries overlap a queried prefix?
+
+    Per family, the stored prefixes are grouped by length into sorted
+    packed-:attr:`~repro.nettypes.prefix.Prefix.network_key` arrays with
+    aligned pair-position tuples.  A query prefix then overlaps a stored
+    prefix iff, at one of the stored lengths, either the query's key
+    truncated to that length matches exactly (the stored prefix contains
+    the query) or the stored key falls in the query's key range at that
+    length (the query contains it) — both answered by bisect, so one
+    query costs ``O(lengths × log n + hits)`` instead of a full scan.
+    """
+
+    def __init__(self, prefixes_with_positions: "dict[Prefix, list[int]]"):
+        # length → (sorted keys, aligned position tuples), per family.
+        self._tables: dict[tuple[int, int], tuple[list[int], list[tuple[int, ...]]]] = {}
+        by_table: dict[tuple[int, int], dict[int, tuple[int, ...]]] = {}
+        for prefix, positions in prefixes_with_positions.items():
+            table = by_table.setdefault((prefix.version, prefix.length), {})
+            table[prefix.network_key] = tuple(positions)
+        for (version, length), table in by_table.items():
+            keys = sorted(table)
+            self._tables[(version, length)] = (
+                keys,
+                [table[key] for key in keys],
+            )
+
+    def overlapping_positions(self, query: Prefix) -> set[int]:
+        """Positions of every stored pair whose prefix overlaps *query*."""
+        found: set[int] = set()
+        query_length = query.length
+        query_key = query.network_key
+        for (version, length), (keys, positions) in self._tables.items():
+            if version != query.version:
+                continue
+            if length <= query_length:
+                # Stored prefixes at most as specific: they overlap iff
+                # they contain the query — exact key match at *length*.
+                probe = query_key >> (query_length - length)
+                at = bisect_left(keys, probe)
+                if at < len(keys) and keys[at] == probe:
+                    found.update(positions[at])
+            else:
+                # More-specific stored prefixes: those the query contains
+                # occupy a contiguous key range at *length*.
+                low = query_key << (length - query_length)
+                high = (query_key + 1) << (length - query_length)
+                start = bisect_left(keys, low)
+                stop = bisect_left(keys, high)
+                for at in range(start, stop):
+                    found.update(positions[at])
+        return found
+
+
 def compare_inputs(
     label_a: str, siblings_a: SiblingSet, label_b: str, siblings_b: SiblingSet
 ) -> InputAgreement:
     """How often does signal *b* confirm signal *a*'s pairs?
 
     Exact pair equality is too strict across signals (prefix grouping
-    differs), so agreement means overlapping prefixes on both sides.
+    differs), so agreement means overlapping prefixes on both sides: a
+    pair of *a* is compatible when some single pair of *b* overlaps it
+    on the IPv4 AND the IPv6 side.  Both sides are answered from
+    :class:`PrefixOverlapIndex` bisect probes, so the comparison is
+    near-linear in the two list sizes rather than their product.
     """
+    v4_positions: dict[Prefix, list[int]] = {}
+    v6_positions: dict[Prefix, list[int]] = {}
+    for position, other in enumerate(siblings_b):
+        v4_positions.setdefault(other.v4_prefix, []).append(position)
+        v6_positions.setdefault(other.v6_prefix, []).append(position)
+    v4_index = PrefixOverlapIndex(v4_positions)
+    v6_index = PrefixOverlapIndex(v6_positions)
     compatible = 0
-    b_pairs = list(siblings_b)
     for pair in siblings_a:
-        for other in b_pairs:
-            if pair.v4_prefix.overlaps(other.v4_prefix) and pair.v6_prefix.overlaps(
-                other.v6_prefix
-            ):
-                compatible += 1
-                break
+        candidates = v4_index.overlapping_positions(pair.v4_prefix)
+        if candidates and candidates & v6_index.overlapping_positions(
+            pair.v6_prefix
+        ):
+            compatible += 1
     return InputAgreement(
         label_a=label_a,
         label_b=label_b,

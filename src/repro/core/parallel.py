@@ -81,12 +81,27 @@ def build_shard_payloads(
     domain's full v6 row list.  *fail_shard* marks one payload to raise
     inside the worker — the crash-path test hook.
     """
+    return build_shard_payloads_from_rows(
+        state.dom_bases, state.dom_rows, n_shards, fail_shard=fail_shard
+    )
+
+
+def build_shard_payloads_from_rows(
+    dom_bases, dom_rows, n_shards: int, fail_shard: int | None = None
+) -> list[tuple]:
+    """:func:`build_shard_payloads` over bare (bases, rows) lists.
+
+    Used directly by the incremental path: delta retract/add rows go
+    through the *same* ``v4_row % n_shards`` partition as a full run,
+    so a delta update touches each shard-local key space exactly where
+    a full accumulation would have counted it.
+    """
     bases_data = [array("Q") for _ in range(n_shards)]
     bases_offsets = [array("I", [0]) for _ in range(n_shards)]
     rows_data = [array("I") for _ in range(n_shards)]
     rows_offsets = [array("I", [0]) for _ in range(n_shards)]
     shift_mod = n_shards
-    for bases, rows in zip(state.dom_bases, state.dom_rows):
+    for bases, rows in zip(dom_bases, dom_rows):
         if len(bases) == 1:
             segments = (((bases[0] >> 32) % shift_mod, bases),)
         else:
@@ -233,17 +248,32 @@ class ShardedSubstrate(ColumnarSubstrate):
             }
             return ColumnarSubstrate.pair_counts(state)
 
-        payloads = build_shard_payloads(
-            state, n_workers, fail_shard=self._fail_shard_for_testing
+        return self._map_and_merge(
+            build_shard_payloads(
+                state, n_workers, fail_shard=self._fail_shard_for_testing
+            ),
+            n_workers,
+            pair_rows,
+            mode="sharded",
+            what="Step-3 accumulation",
         )
+
+    def _map_and_merge(
+        self, payloads, n_workers: int, pair_rows: int, mode: str, what: str
+    ) -> Counter:
+        """Dispatch shard payloads to a worker pool and merge the counts.
+
+        The shared leg of the full and delta accumulations; *mode* tags
+        :attr:`last_run`, *what* names the operation in the
+        :class:`ShardedDetectionError` a crashed worker surfaces as.
+        """
         context = multiprocessing.get_context(self.START_METHOD)
         try:
             with context.Pool(processes=n_workers) as pool:
                 shard_results = pool.map(accumulate_shard, payloads)
         except Exception as exc:
             raise ShardedDetectionError(
-                f"sharded Step-3 accumulation failed "
-                f"({n_workers} workers): {exc}"
+                f"sharded {what} failed ({n_workers} workers): {exc}"
             ) from exc
 
         # Disjoint key spaces: a plain union merges without conflict.
@@ -257,12 +287,45 @@ class ShardedSubstrate(ColumnarSubstrate):
         for _shard, keys, counts in shard_results:
             dict.update(merged, zip(keys, counts))
         self.last_run = {
-            "mode": "sharded",
+            "mode": mode,
             "workers": n_workers,
             "shards": len(payloads),
             "pair_rows": pair_rows,
         }
         return merged
+
+    def _accumulate_rows(self, dom_bases, dom_rows) -> Counter:
+        """Delta-row accumulation, sharded exactly like a full run.
+
+        Retract/add rows are partitioned by the same ``v4_row %
+        n_shards`` rule as :meth:`pair_counts`, so every delta key is
+        counted on the shard that owns it in a full accumulation.
+        Small deltas (the common case — daily churn) fall back to the
+        in-process kernel below :attr:`min_pair_rows`, mirroring the
+        full-run fallback.
+        """
+        dom_bases = list(dom_bases)
+        dom_rows = list(dom_rows)
+        n_workers = self.effective_workers()
+        pair_rows = sum(
+            len(bases) * len(rows)
+            for bases, rows in zip(dom_bases, dom_rows)
+        )
+        if n_workers < 2 or pair_rows < self.min_pair_rows:
+            self.last_run = {
+                "mode": "delta-fallback",
+                "workers": n_workers,
+                "shards": 0,
+                "pair_rows": pair_rows,
+            }
+            return ColumnarSubstrate._accumulate_rows(self, dom_bases, dom_rows)
+        return self._map_and_merge(
+            build_shard_payloads_from_rows(dom_bases, dom_rows, n_workers),
+            n_workers,
+            pair_rows,
+            mode="delta-sharded",
+            what="delta accumulation",
+        )
 
 
 SUBSTRATES[ShardedSubstrate.name] = ShardedSubstrate

@@ -81,6 +81,22 @@ class SiblingSet:
         """The distinct IPv6 prefixes appearing in any pair."""
         return {p.v6_prefix for p in self._pairs.values()}
 
+    def same_pairs(self, other: "SiblingSet") -> bool:
+        """True when *other* holds exactly the same pairs — every field
+        of every pair equal — regardless of the snapshot dates.
+
+        The longitudinal publisher uses this to skip recompiling a
+        lookup index for a date whose sibling list did not change.
+        """
+        if len(self._pairs) != len(other._pairs):
+            return False
+        other_pairs = other._pairs
+        for key, pair in self._pairs.items():
+            candidate = other_pairs.get(key)
+            if candidate is None or candidate != pair:
+                return False
+        return True
+
     # -- statistics --------------------------------------------------------------
 
     def similarities(self) -> list[float]:

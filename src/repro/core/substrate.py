@@ -33,6 +33,14 @@ The columnar intern pool lives on the substrate *instance*, so passing
 one instance through a longitudinal run reuses the interned domain table
 across snapshots (see :func:`repro.analysis.pipeline.detect_series`).
 :func:`get_substrate` resolves names to a process-wide shared instance.
+
+The columnar state model is *persistent-with-retraction*: the prepared
+state carries the Step-3 counter across calls, and when the underlying
+index mutates through :meth:`~repro.core.domainsets.PrefixDomainIndex.
+apply_delta`, :meth:`ColumnarSubstrate.prepare` patches the cached state
+and counter in place (retracting the removed domains' packed pair
+contributions, adding the new ones) instead of rebuilding — the engine
+room of ``detect_series(..., incremental=True)``.
 """
 
 from __future__ import annotations
@@ -157,6 +165,9 @@ class _ColumnarState:
         "v6_sizes",
         "dom_bases",
         "dom_rows",
+        "dom_pos",
+        "free_positions",
+        "counts",
         "v4_post_data",
         "v4_post_offsets",
         "v6_post_data",
@@ -190,11 +201,24 @@ class _ColumnarState:
         domain_v6_prefixes = index.domain_v6_prefixes
         self.dom_bases: list[list[int]] = []
         self.dom_rows: list[list[int]] = []
-        for domain, v4_prefixes in index.domain_v4_prefixes.items():
+        #: domain → its position in dom_bases/dom_rows, so delta patching
+        #: can retract exactly the rows a domain contributed.
+        self.dom_pos: dict[str, int] = {}
+        for position, (domain, v4_prefixes) in enumerate(
+            index.domain_v4_prefixes.items()
+        ):
+            self.dom_pos[domain] = position
             self.dom_bases.append([v4_row_of[p] for p in v4_prefixes])
             self.dom_rows.append(
                 [v6_row_of[p] for p in domain_v6_prefixes[domain]]
             )
+        #: Tombstoned dom positions available for reuse by delta adds.
+        self.free_positions: list[int] = []
+        #: Persistent Step-3 counter.  ``None`` until the first full
+        #: accumulation; afterwards kept current by delta retract/add
+        #: (:meth:`ColumnarSubstrate._patch_state`) so repeated selects
+        #: and incremental runs never re-accumulate unchanged domains.
+        self.counts: Counter | None = None
 
         # Per-prefix domain posting lists in CSR layout: sorted global
         # domain ids, one flat array + offsets per family.
@@ -210,22 +234,57 @@ class _ColumnarState:
         self._v6_gid_sets: dict[int, frozenset[int]] = {}
 
     def v4_gids(self, row: int) -> frozenset[int]:
-        """Domain-id set of v4 prefix *row* (cached)."""
+        """Domain-id set of v4 prefix *row* (cached/patched overlay)."""
         gids = self._v4_gid_sets.get(row)
         if gids is None:
             offsets = self.v4_post_offsets
-            gids = frozenset(self.v4_post_data[offsets[row] : offsets[row + 1]])
+            if row + 1 >= len(offsets):
+                # Row allocated by delta patching after the CSR build;
+                # its membership lives only in the overlay, which the
+                # patch fills for every touched prefix.
+                gids = frozenset()
+            else:
+                gids = frozenset(
+                    self.v4_post_data[offsets[row] : offsets[row + 1]]
+                )
             self._v4_gid_sets[row] = gids
         return gids
 
     def v6_gids(self, row: int) -> frozenset[int]:
-        """Domain-id set of v6 prefix *row* (cached)."""
+        """Domain-id set of v6 prefix *row* (cached/patched overlay)."""
         gids = self._v6_gid_sets.get(row)
         if gids is None:
             offsets = self.v6_post_offsets
-            gids = frozenset(self.v6_post_data[offsets[row] : offsets[row + 1]])
+            if row + 1 >= len(offsets):
+                gids = frozenset()
+            else:
+                gids = frozenset(
+                    self.v6_post_data[offsets[row] : offsets[row + 1]]
+                )
             self._v6_gid_sets[row] = gids
         return gids
+
+    # -- delta patching support ------------------------------------------------
+
+    def v4_base_for(self, prefix: Prefix) -> int:
+        """The premultiplied v4 row for *prefix*, allocating if unseen."""
+        base = self.v4_row_of.get(prefix)
+        if base is None:
+            base = len(self.v4_prefixes) << 32
+            self.v4_prefixes.append(prefix)
+            self.v4_row_of[prefix] = base
+            self.v4_sizes.append(0)
+        return base
+
+    def v6_row_for(self, prefix: Prefix) -> int:
+        """The v6 row for *prefix*, allocating if unseen."""
+        row = self.v6_row_of.get(prefix)
+        if row is None:
+            row = len(self.v6_prefixes)
+            self.v6_prefixes.append(prefix)
+            self.v6_row_of[prefix] = row
+            self.v6_sizes.append(0)
+        return row
 
 
 def _build_csr(
@@ -238,6 +297,48 @@ def _build_csr(
         data.extend(sorted(map(intern_domain, domains)))
         offsets.append(len(data))
     return data, offsets
+
+
+def accumulate_rowlists(dom_bases, dom_rows) -> Counter:
+    """Step-3 accumulation over aligned (bases, rows) membership lists.
+
+    The single-process accumulation kernel, shared by the full
+    :meth:`ColumnarSubstrate.pair_counts` pass and the delta retract/add
+    passes (which feed it only the touched domains' rows).
+    """
+    packed: list[int] = []
+    append = packed.append
+    extend = packed.extend
+    for bases, rows in zip(dom_bases, dom_rows):
+        if len(bases) == 1:
+            base = bases[0]
+            if len(rows) == 1:
+                append(base | rows[0])
+            else:
+                extend([base | row for row in rows])
+        else:
+            for base in bases:
+                extend([base | row for row in rows])
+    return Counter(packed)
+
+
+class _ColumnarCacheEntry:
+    """The per-index cache slot for one prepared columnar state.
+
+    Tracks which substrate instance and intern-pool generation built the
+    state, plus the index version/fingerprint it is current for — the
+    keys :meth:`ColumnarSubstrate.prepare` checks before reusing or
+    patching it.
+    """
+
+    __slots__ = ("owner", "generation", "version", "fingerprint", "state")
+
+    def __init__(self, owner, generation, version, fingerprint, state):
+        self.owner = owner
+        self.generation = generation
+        self.version = version
+        self.fingerprint = fingerprint
+        self.state = state
 
 
 class ColumnarSubstrate(Substrate):
@@ -309,29 +410,158 @@ class ColumnarSubstrate(Substrate):
             sum(len(s) for s in index.v6_domains.values()),
         )
 
+    @staticmethod
+    def _state_fingerprint(state: _ColumnarState) -> tuple[int, ...]:
+        """:meth:`_fingerprint` as derivable from a columnar state.
+
+        Emptied groups keep their rows at size 0 (the index deletes the
+        key), so non-zero sizes count the index's groups and the size
+        sums its memberships — a cheap integer pass that lets the patch
+        path cross-check itself against the index without rebuilding.
+        """
+        return (
+            len(state.dom_pos),
+            sum(1 for size in state.v4_sizes if size),
+            sum(1 for size in state.v6_sizes if size),
+            sum(state.v4_sizes),
+            sum(state.v6_sizes),
+        )
+
     def prepare(self, index: PrefixDomainIndex) -> _ColumnarState:
         """Cached :meth:`columnarize`, keyed on this substrate's pool.
 
-        The cache is invalidated when the index's group structure counts
-        change (prefixes or memberships added/removed) — indexes are
-        otherwise treated as immutable once detection has run on them.
+        Freshness is keyed on the index's mutation :attr:`~repro.core.
+        domainsets.PrefixDomainIndex.version`: when the version moved and
+        the index's delta log still covers the gap, the cached state is
+        *patched* in place (:meth:`_patch_state`) — O(touched domains),
+        with the persistent Step-3 counter retracted/re-added — instead
+        of rebuilt.  A broken chain (``mark_mutated``, trimmed log, or a
+        pool reset) rebuilds from scratch.  The structural fingerprint
+        stays as a safety net against legacy in-place edits that never
+        bumped the version; count-preserving edits *must* bump it.
         """
         fingerprint = self._fingerprint(index)
+        version = index.version
         cached = getattr(index, self._STATE_ATTR, None)
         if (
             cached is not None
-            and cached[0] is self
-            and cached[1] == self._generation
-            and cached[2] == fingerprint
+            and cached.owner is self
+            and cached.generation == self._generation
         ):
-            return cached[3]
+            if cached.version == version and cached.fingerprint == fingerprint:
+                return cached.state
+            if cached.version != version:
+                deltas = index.deltas_since(cached.version)
+                if deltas is not None:
+                    for delta in deltas:
+                        self._patch_state(cached.state, index, delta)
+                    # The safety net survives the patch path: the patched
+                    # state's own structure must land on the index's
+                    # fingerprint — an unmarked hand-edit hiding behind
+                    # the deltas shows up as drift and forces a rebuild.
+                    if self._state_fingerprint(cached.state) == fingerprint:
+                        cached.version = version
+                        cached.fingerprint = fingerprint
+                        return cached.state
         state = self.columnarize(index)
         setattr(
             index,
             self._STATE_ATTR,
-            (self, self._generation, fingerprint, state),
+            _ColumnarCacheEntry(
+                self, self._generation, version, fingerprint, state
+            ),
         )
         return state
+
+    # -- incremental patching --------------------------------------------------
+
+    def _patch_state(self, state: _ColumnarState, index: PrefixDomainIndex, delta) -> None:
+        """Replay one :class:`~repro.core.domainsets.IndexDelta` onto *state*.
+
+        Retracts the removed domains' membership rows, adds the new
+        ones (reusing tombstoned positions), refreshes the sizes and
+        posting-list overlay of every touched prefix from the already
+        mutated index, and — when the persistent counter exists —
+        retracts/adds exactly those domains' packed pair contributions
+        against it.  Equivalent by construction to a from-scratch
+        rebuild + full re-accumulation on the mutated index.
+        """
+        retract_bases: list[list[int]] = []
+        retract_rows: list[list[int]] = []
+        add_bases: list[list[int]] = []
+        add_rows: list[list[int]] = []
+        touched_v4: set[Prefix] = set()
+        touched_v6: set[Prefix] = set()
+
+        for domain, v4_prefixes, v6_prefixes in delta.removed:
+            position = state.dom_pos.pop(domain)
+            retract_bases.append(state.dom_bases[position])
+            retract_rows.append(state.dom_rows[position])
+            state.dom_bases[position] = []
+            state.dom_rows[position] = []
+            state.free_positions.append(position)
+            touched_v4 |= v4_prefixes
+            touched_v6 |= v6_prefixes
+        for domain, v4_prefixes, v6_prefixes in delta.added:
+            bases = [state.v4_base_for(p) for p in v4_prefixes]
+            rows = [state.v6_row_for(p) for p in v6_prefixes]
+            if state.free_positions:
+                position = state.free_positions.pop()
+                state.dom_bases[position] = bases
+                state.dom_rows[position] = rows
+            else:
+                position = len(state.dom_bases)
+                state.dom_bases.append(bases)
+                state.dom_rows.append(rows)
+            state.dom_pos[domain] = position
+            add_bases.append(bases)
+            add_rows.append(rows)
+            touched_v4 |= v4_prefixes
+            touched_v6 |= v6_prefixes
+
+        # Refresh sizes and the gid overlay from the (already mutated)
+        # index — the CSR arrays stay untouched; touched rows answer
+        # from the overlay instead.
+        # Allocation (not plain lookup) also for removal-touched rows: a
+        # delta recorded after an unmarked hand-edit can mention a prefix
+        # this state never saw; allocating keeps the patch total, and the
+        # fingerprint cross-check in prepare() decides whether the
+        # patched state is actually usable.
+        intern = self._intern_domain
+        for prefix in touched_v4:
+            row = state.v4_base_for(prefix) >> 32
+            members = index.v4_domains.get(prefix, ())
+            state.v4_sizes[row] = len(members)
+            state._v4_gid_sets[row] = frozenset(map(intern, members))
+        for prefix in touched_v6:
+            row = state.v6_row_for(prefix)
+            members = index.v6_domains.get(prefix, ())
+            state.v6_sizes[row] = len(members)
+            state._v6_gid_sets[row] = frozenset(map(intern, members))
+
+        counts = state.counts
+        if counts is None:
+            return
+        if retract_bases:
+            for key, retracted in self._accumulate_rows(
+                retract_bases, retract_rows
+            ).items():
+                remaining = counts[key] - retracted
+                if remaining:
+                    counts[key] = remaining
+                else:
+                    del counts[key]
+        if add_bases:
+            counts.update(self._accumulate_rows(add_bases, add_rows))
+
+    def _accumulate_rows(self, dom_bases, dom_rows) -> Counter:
+        """Accumulate packed pair counts for a subset of domains' rows.
+
+        The delta-sized sibling of :meth:`pair_counts`; parallel engines
+        override it to route the rows through the same shard partition
+        as a full run.
+        """
+        return accumulate_rowlists(dom_bases, dom_rows)
 
     # -- Steps 3-4 -----------------------------------------------------------
 
@@ -342,20 +572,7 @@ class ColumnarSubstrate(Substrate):
         One flat pass over the per-domain membership rows; the Counter
         runs at C speed over plain integers.
         """
-        packed: list[int] = []
-        append = packed.append
-        extend = packed.extend
-        for bases, rows in zip(state.dom_bases, state.dom_rows):
-            if len(bases) == 1:
-                base = bases[0]
-                if len(rows) == 1:
-                    append(base | rows[0])
-                else:
-                    extend([base | row for row in rows])
-            else:
-                for base in bases:
-                    extend([base | row for row in rows])
-        return Counter(packed)
+        return accumulate_rowlists(state.dom_bases, state.dom_rows)
 
     def select(
         self,
@@ -363,9 +580,19 @@ class ColumnarSubstrate(Substrate):
         metric: str = "jaccard",
         mode: BestMatchMode = BestMatchMode.EITHER,
     ) -> SiblingSet:
-        """Steps 3-4 over packed keys; see the module docstring."""
+        """Steps 3-4 over packed keys; see the module docstring.
+
+        The Step-3 counter persists on the prepared state: the first
+        call accumulates it in full, later calls reuse it as-is, and
+        delta patching (:meth:`_patch_state`) keeps it current across
+        index mutations — the substrate state model is
+        persistent-with-retraction, not per-call.
+        """
         state = self.prepare(index)
-        counts = self.pair_counts(state)
+        counts = state.counts
+        if counts is None:
+            counts = self.pair_counts(state)
+            state.counts = counts
         metric_fn = METRICS_FROM_COUNTS[metric]
         v4_sizes = state.v4_sizes
         v6_sizes = state.v6_sizes

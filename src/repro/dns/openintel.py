@@ -9,6 +9,15 @@ by the final name exactly as the paper does (Section 3).
 A :class:`SnapshotSeries` is the longitudinal collection (the paper's 49
 monthly snapshots plus the finer-grained day/week offsets used in
 Section 4).
+
+Consecutive snapshots differ in only a small fraction of domains, so the
+longitudinal pipeline treats day-over-day measurement as a delta problem:
+:class:`SnapshotDelta` (computed by :meth:`DnsSnapshot.delta_to` or
+:meth:`SnapshotSeries.delta`) records exactly which domains appeared,
+disappeared, or changed addresses between two dates.  The incremental
+detection path (:meth:`repro.core.domainsets.PrefixDomainIndex.apply_delta`
+and :func:`repro.analysis.pipeline.detect_series` with
+``incremental=True``) consumes it instead of rebuilding everything.
 """
 
 from __future__ import annotations
@@ -37,6 +46,42 @@ class DomainObservation:
     @property
     def has_any_address(self) -> bool:
         return bool(self.v4_addresses) or bool(self.v6_addresses)
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotDelta:
+    """What changed between two measurement snapshots.
+
+    ``added`` carries the full new observations, ``removed`` only the
+    domain names (the consumer still holds the old snapshot or index),
+    and ``changed`` pairs the old and new observation for domains whose
+    address tuples differ on either family.  Dual-stack transitions are
+    *not* resolved here — a domain flipping from v4-only to dual-stack
+    is simply a ``changed`` entry; the index layer decides what that
+    means for detection.
+    """
+
+    old_date: datetime.date
+    new_date: datetime.date
+    added: tuple[DomainObservation, ...]
+    removed: tuple[str, ...]
+    changed: tuple[tuple[DomainObservation, DomainObservation], ...]
+
+    @property
+    def touched_domains(self) -> int:
+        """How many domains this delta mentions at all."""
+        return len(self.added) + len(self.removed) + len(self.changed)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotDelta({self.old_date.isoformat()} -> "
+            f"{self.new_date.isoformat()}, +{len(self.added)} "
+            f"-{len(self.removed)} ~{len(self.changed)})"
+        )
 
 
 class DnsSnapshot:
@@ -103,6 +148,39 @@ class DnsSnapshot:
 
     def dual_stack_domains(self) -> set[str]:
         return {o.domain for o in self.dual_stack_observations()}
+
+    # -- deltas ---------------------------------------------------------------
+
+    def delta_to(self, newer: "DnsSnapshot") -> SnapshotDelta:
+        """The :class:`SnapshotDelta` turning this snapshot into *newer*.
+
+        One pass over both observation tables: domains only in *newer*
+        are ``added``, domains only in this snapshot are ``removed``,
+        and domains present in both but with different address tuples
+        (either family) are ``changed``.  Applying the delta on top of
+        this snapshot's contents reconstructs *newer* exactly.
+        """
+        old = self._observations
+        new = newer._observations
+        added: list[DomainObservation] = []
+        changed: list[tuple[DomainObservation, DomainObservation]] = []
+        for domain, observation in new.items():
+            previous = old.get(domain)
+            if previous is None:
+                added.append(observation)
+            elif (
+                previous.v4_addresses != observation.v4_addresses
+                or previous.v6_addresses != observation.v6_addresses
+            ):
+                changed.append((previous, observation))
+        removed = tuple(domain for domain in old if domain not in new)
+        return SnapshotDelta(
+            old_date=self.date,
+            new_date=newer.date,
+            added=tuple(added),
+            removed=removed,
+            changed=tuple(changed),
+        )
 
     # -- statistics -------------------------------------------------------------
 
@@ -180,6 +258,17 @@ class SnapshotSeries:
         if not self._dates:
             raise LookupError("empty snapshot series")
         return self._by_date[self._dates[-1]]
+
+    def delta(
+        self, old_date: datetime.date, new_date: datetime.date
+    ) -> SnapshotDelta:
+        """The delta between two member snapshots (any two dates)."""
+        return self._by_date[old_date].delta_to(self._by_date[new_date])
+
+    def deltas(self) -> Iterator[SnapshotDelta]:
+        """Deltas between consecutive snapshots, in date order."""
+        for older, newer in zip(self._dates, self._dates[1:]):
+            yield self._by_date[older].delta_to(self._by_date[newer])
 
     def __iter__(self) -> Iterator[DnsSnapshot]:
         for date in self._dates:

@@ -1,0 +1,365 @@
+"""Incremental detect-series must be bit-identical to full recomputation.
+
+The invariant behind ``detect_series(..., incremental=True)``: at every
+date, detection over the delta-maintained index — with the columnar
+state and persistent Step-3 counters *patched*, never rebuilt — equals a
+from-scratch run on that date's snapshot, for every engine.  Hypothesis
+drives randomized multi-date churn scenarios (domains appearing,
+disappearing, flipping dual-stack, renumbering, moving prefixes) through
+a small series shim; the properties then compare the complete observable
+output per date, via the shared ``as_mapping`` agreement definition.
+
+Also here: the white-box guarantees the invariant rests on — the
+counter retract/add arithmetic, stale-cache invalidation through the
+index version protocol, the annotator-signature rebuild gate, the
+serve-series recompile skip, and CLI byte-identity.
+"""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import as_mapping
+
+from repro.bgp.rib import Rib
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.domainsets import build_index
+from repro.core.parallel import ShardedSubstrate
+from repro.core.substrate import ColumnarSubstrate, get_substrate
+from repro.dns.openintel import DnsSnapshot, DomainObservation
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+
+# Public, non-reserved pools (the annotator discards reserved space).
+V4_POOL = [
+    Prefix.from_address(IPV4, (20 << 24) | (i << 8), 24) for i in range(10)
+]
+V6_POOL = [
+    Prefix.from_address(IPV6, (0x2400_00DB << 96) | (i << 80), 48)
+    for i in range(10)
+]
+
+BASE_DATE = datetime.date(2024, 9, 1)
+
+
+def make_annotator(extra_prefix: Prefix | None = None) -> PrefixAnnotator:
+    rib = Rib()
+    for position, prefix in enumerate(V4_POOL + V6_POOL):
+        rib.announce(prefix, 65000 + position)
+    if extra_prefix is not None:
+        rib.announce(extra_prefix, 64999)
+    return PrefixAnnotator(rib, missing_fraction=0.0)
+
+
+class SeriesShim:
+    """Duck-typed stand-in for :class:`repro.synth.universe.Universe` —
+    the pipeline only calls ``snapshot_at`` and ``annotator_at``."""
+
+    def __init__(self, snapshots, annotator_for_date=None):
+        self._snapshots = {s.date: s for s in snapshots}
+        self._annotator = make_annotator()
+        self._annotator_for_date = annotator_for_date
+
+    def snapshot_at(self, date):
+        return self._snapshots[date]
+
+    def annotator_at(self, date):
+        if self._annotator_for_date is not None:
+            return self._annotator_for_date(date)
+        return self._annotator
+
+
+def snapshot_from_table(date, table) -> DnsSnapshot:
+    """A snapshot from ``{domain: (v4 address ids, v6 address ids)}``;
+    an address id is ``(pool index, offset)``."""
+    return DnsSnapshot(
+        date,
+        (
+            DomainObservation(
+                domain,
+                tuple(
+                    V4_POOL[pool].first_address + offset
+                    for pool, offset in sorted(v4_ids)
+                ),
+                tuple(
+                    V6_POOL[pool].first_address + offset
+                    for pool, offset in sorted(v6_ids)
+                ),
+            )
+            for domain, (v4_ids, v6_ids) in table.items()
+        ),
+    )
+
+
+@st.composite
+def churn_series(draw, max_dates: int = 4):
+    """A list of per-date observation tables with correlated churn.
+
+    Date 0 is drawn in full; every later date copies the previous table
+    and mutates a random subset of slots — remove, add, renumber within
+    a prefix, move prefixes, or flip one family empty (dual-stack flip).
+    """
+    address_id = st.tuples(
+        st.integers(0, len(V4_POOL) - 1), st.integers(1, 250)
+    )
+    families = st.tuples(
+        st.sets(address_id, min_size=0, max_size=3),
+        st.sets(address_id, min_size=0, max_size=3),
+    )
+    n_domains = draw(st.integers(2, 14))
+    labels = [f"d{i}.example" for i in range(n_domains)]
+    table = {
+        label: draw(families) for label in draw(st.sets(st.sampled_from(labels), min_size=1))
+    }
+    tables = [table]
+    for _ in range(draw(st.integers(1, max_dates - 1))):
+        table = dict(table)
+        for label in labels:
+            action = draw(
+                st.sampled_from(("keep", "keep", "keep", "set", "drop"))
+            )
+            if action == "drop":
+                table.pop(label, None)
+            elif action == "set":
+                table[label] = draw(families)
+        tables.append(table)
+    return tables
+
+
+def run_both(tables, engine_factory):
+    dates = [BASE_DATE + datetime.timedelta(days=i) for i in range(len(tables))]
+    shim = SeriesShim(
+        [snapshot_from_table(date, table) for date, table in zip(dates, tables)]
+    )
+    from repro.analysis.pipeline import detect_series
+
+    full = detect_series(shim, dates, substrate=engine_factory())
+    incremental = detect_series(
+        shim, dates, substrate=engine_factory(), incremental=True
+    )
+    return dates, full, incremental
+
+
+@given(tables=churn_series())
+@settings(max_examples=25)
+def test_incremental_equals_full_columnar(tables):
+    """Columnar engine: per-date bit-identical output under churn."""
+    dates, full, incremental = run_both(tables, ColumnarSubstrate)
+    assert [d for d, _ in incremental] == dates
+    for (_, siblings_full), (_, siblings_incremental) in zip(full, incremental):
+        assert as_mapping(siblings_full) == as_mapping(siblings_incremental)
+
+
+@given(tables=churn_series())
+@settings(max_examples=8)
+def test_incremental_equals_reference_oracle(tables):
+    """Incremental columnar output equals the paper-literal reference
+    engine run from scratch on every date — the strongest oracle."""
+    dates, _, incremental = run_both(tables, ColumnarSubstrate)
+    shim = SeriesShim(
+        [snapshot_from_table(date, table) for date, table in zip(dates, tables)]
+    )
+    reference = get_substrate("reference")
+    for date, siblings in incremental:
+        fresh = reference.select(
+            build_index(shim.snapshot_at(date), shim.annotator_at(date))
+        )
+        assert as_mapping(siblings) == as_mapping(fresh)
+
+
+@given(tables=churn_series(max_dates=3))
+@settings(max_examples=3)
+def test_incremental_equals_full_sharded(tables):
+    """Sharded engine with real worker processes and zero fallback
+    threshold: the delta retract/add path routes through the same shard
+    partition and still matches the full run bit for bit."""
+    dates, full, incremental = run_both(
+        tables, lambda: ShardedSubstrate(workers=2, min_pair_rows=0)
+    )
+    for (_, siblings_full), (_, siblings_incremental) in zip(full, incremental):
+        assert as_mapping(siblings_full) == as_mapping(siblings_incremental)
+
+
+# ---------------------------------------------------------------------------
+# White-box: the persistent counter really is patched, not rebuilt
+# ---------------------------------------------------------------------------
+
+
+def _two_date_tables():
+    return [
+        {
+            "a.example": ({(0, 1)}, {(0, 1)}),
+            "b.example": ({(0, 2), (1, 9)}, {(1, 7)}),
+            "c.example": ({(2, 3)}, {(2, 3)}),
+        },
+        {
+            "a.example": ({(0, 1)}, {(0, 1)}),          # unchanged
+            "b.example": ({(3, 2)}, {(1, 7), (3, 8)}),  # moved prefixes
+            "d.example": ({(4, 4)}, {(4, 4)}),          # appeared
+        },  # c.example disappeared
+    ]
+
+
+def test_counter_is_patched_in_place_and_exact():
+    tables = _two_date_tables()
+    annotator = make_annotator()
+    s0 = snapshot_from_table(BASE_DATE, tables[0])
+    s1 = snapshot_from_table(BASE_DATE + datetime.timedelta(days=1), tables[1])
+    engine = ColumnarSubstrate()
+    index = build_index(s0, annotator)
+    first = engine.select(index)
+    state_before = engine.prepare(index)
+    assert state_before.counts is not None  # persisted by select
+    index.apply_delta(s0.delta_to(s1), annotator)
+    second = engine.select(index)
+    state_after = engine.prepare(index)
+    # Same state object — patched, not rebuilt — and the patched counter
+    # equals a from-scratch accumulation on a rebuilt state, compared in
+    # prefix space (row numbering may legitimately differ).
+    assert state_after is state_before
+    fresh_engine = ColumnarSubstrate()
+    fresh_state = fresh_engine.prepare(build_index(s1, make_annotator()))
+    fresh_counts = ColumnarSubstrate.pair_counts(fresh_state)
+
+    def in_prefix_space(state, counts):
+        return {
+            (
+                state.v4_prefixes[key >> 32],
+                state.v6_prefixes[key & 0xFFFFFFFF],
+            ): count
+            for key, count in counts.items()
+        }
+
+    assert in_prefix_space(state_after, state_after.counts) == in_prefix_space(
+        fresh_state, fresh_counts
+    )
+    # And the selected outputs match the oracle on both dates.
+    reference = get_substrate("reference")
+    assert as_mapping(first) == as_mapping(
+        reference.select(build_index(s0, make_annotator()))
+    )
+    assert as_mapping(second) == as_mapping(reference.select(index))
+
+
+def test_stale_cache_regression_count_preserving_mutation():
+    """Moving a domain between equal-sized groups preserves every count
+    the structural fingerprint sees; before the version protocol this
+    left the cached columnar view silently stale.  ``mark_mutated`` must
+    force a rebuild."""
+    annotator = make_annotator()
+    table = {
+        "a.example": ({(0, 1)}, {(0, 1)}),
+        "b.example": ({(1, 2)}, {(1, 2)}),
+    }
+    snapshot = snapshot_from_table(BASE_DATE, table)
+    engine = ColumnarSubstrate()
+    index = build_index(snapshot, annotator)
+    before = engine.select(index)
+    assert (V4_POOL[0], V6_POOL[0]) in as_mapping(before)
+
+    # Hand-edit: a.example's v4 membership moves pool 0 → pool 5.  All
+    # five fingerprint counts (domains, groups per family, memberships
+    # per family) are unchanged.
+    index.v4_domains[V4_POOL[5]] = index.v4_domains.pop(V4_POOL[0])
+    index.domain_v4_prefixes["a.example"] = {V4_POOL[5]}
+    index.mark_mutated()
+
+    after = engine.select(index)
+    mapping = as_mapping(after)
+    assert (V4_POOL[5], V6_POOL[0]) in mapping
+    assert (V4_POOL[0], V6_POOL[0]) not in mapping
+    assert as_mapping(get_substrate("reference").select(index)) == mapping
+
+
+def test_unmarked_hand_edit_behind_delta_still_rebuilds():
+    """A hand-edit that never called ``mark_mutated`` followed by
+    ``apply_delta`` must not slip past the patch path: the patched
+    state's structure disagrees with the index fingerprint, so prepare
+    falls back to a rebuild — the pre-incremental safety net survives."""
+    tables = _two_date_tables()
+    annotator = make_annotator()
+    s0 = snapshot_from_table(BASE_DATE, tables[0])
+    s1 = snapshot_from_table(BASE_DATE + datetime.timedelta(days=1), tables[1])
+    engine = ColumnarSubstrate()
+    index = build_index(s0, annotator)
+    engine.select(index)
+    # Structure-changing hand-edit, no mark_mutated, on a domain the
+    # delta does NOT touch (a.example is identical on both dates), so
+    # the edit persists after apply_delta: a.example also joins pool 7
+    # on the v4 side.
+    index.v4_domains.setdefault(V4_POOL[7], set()).add("a.example")
+    index.domain_v4_prefixes["a.example"] = set(
+        index.domain_v4_prefixes["a.example"]
+    ) | {V4_POOL[7]}
+    index.apply_delta(s0.delta_to(s1), annotator)
+    mapping = as_mapping(engine.select(index))
+    assert mapping == as_mapping(get_substrate("reference").select(index))
+    assert any(v4 == V4_POOL[7] for v4, _ in mapping)
+
+
+def test_annotator_change_forces_full_rebuild_and_stays_exact():
+    """A routing change between dates invalidates delta application —
+    the pipeline must rebuild that date from scratch and still agree
+    with the non-incremental run."""
+    from repro.analysis.pipeline import detect_series
+
+    tables = _two_date_tables() + [_two_date_tables()[0]]
+    dates = [BASE_DATE + datetime.timedelta(days=i) for i in range(len(tables))]
+    annotators = {
+        dates[0]: make_annotator(),
+        # Announce a more-specific inside pool 0 from date 1 on: every
+        # address in it re-annotates, including unchanged domains'.
+        dates[1]: make_annotator(V4_POOL[0].subnets(25).__next__()),
+        dates[2]: make_annotator(V4_POOL[0].subnets(25).__next__()),
+    }
+    shim = SeriesShim(
+        [snapshot_from_table(date, table) for date, table in zip(dates, tables)],
+        annotator_for_date=annotators.__getitem__,
+    )
+    full = detect_series(shim, dates, substrate=ColumnarSubstrate())
+    incremental = detect_series(
+        shim, dates, substrate=ColumnarSubstrate(), incremental=True
+    )
+    for (_, siblings_full), (_, siblings_incremental) in zip(full, incremental):
+        assert as_mapping(siblings_full) == as_mapping(siblings_incremental)
+
+
+def test_serve_series_skips_recompile_for_unchanged_dates():
+    from repro.analysis.pipeline import serve_series
+
+    tables = [_two_date_tables()[0]] * 3 + [_two_date_tables()[1]]
+    dates = [BASE_DATE + datetime.timedelta(days=i) for i in range(len(tables))]
+    shim = SeriesShim(
+        [snapshot_from_table(date, table) for date, table in zip(dates, tables)]
+    )
+    service = serve_series(shim, dates, incremental=True)
+    # Dates 1 and 2 are identical to date 0: one publish for the first
+    # three dates, one for the changed final date.
+    assert service.generation == 2
+    assert service.index.snapshot == dates[-1]
+
+
+def test_cli_detect_series_incremental_byte_identical(tmp_path):
+    from repro.cli import main
+
+    full_path = tmp_path / "full.csv"
+    incremental_path = tmp_path / "incremental.csv"
+    assert main(
+        [
+            "detect-series", "--scenario", "tiny", "--offsets", "stability",
+            "--format", "csv", "-o", str(full_path),
+        ]
+    ) == 0
+    assert main(
+        [
+            "detect-series", "--scenario", "tiny", "--offsets", "stability",
+            "--format", "csv", "-o", str(incremental_path), "--incremental",
+        ]
+    ) == 0
+    assert full_path.read_bytes() == incremental_path.read_bytes()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -182,6 +182,64 @@ class TestInputsOnUniverse:
         result_a, result_aaaa = resolver.resolve_dual_stack(target)
         assert result_a.ok and result_aaaa.ok
 
+    def test_compare_inputs_bisect_equals_quadratic_oracle(self):
+        """The packed-network-key bisect agreement equals the original
+        all-pairs overlap scan on randomized nested-prefix sibling sets."""
+        import random
+
+        from repro.core.inputs import InputAgreement
+        from repro.core.siblings import SiblingPair, SiblingSet
+
+        def oracle(label_a, siblings_a, label_b, siblings_b):
+            compatible = 0
+            b_pairs = list(siblings_b)
+            for pair in siblings_a:
+                for other in b_pairs:
+                    if pair.v4_prefix.overlaps(
+                        other.v4_prefix
+                    ) and pair.v6_prefix.overlaps(other.v6_prefix):
+                        compatible += 1
+                        break
+            return InputAgreement(
+                label_a, label_b, len(siblings_a), len(siblings_b), compatible
+            )
+
+        rng = random.Random(20260728)
+        v4_pool = [
+            Prefix.from_address(IPV4, (20 << 24) | (i << 18), length)
+            for i in range(6)
+            for length in (14, 16, 20, 24)
+        ]
+        v6_pool = [
+            Prefix.from_address(
+                IPV6, (0x2400_00DB << 96) | (i << 88), length
+            )
+            for i in range(6)
+            for length in (28, 32, 40, 48)
+        ]
+
+        def random_siblings():
+            return SiblingSet(
+                DATE,
+                (
+                    SiblingPair(
+                        v4_prefix=rng.choice(v4_pool),
+                        v6_prefix=rng.choice(v6_pool),
+                        similarity=rng.random(),
+                        shared_domains=frozenset({f"s{rng.randrange(9)}.example"}),
+                        v4_domain_count=rng.randint(1, 9),
+                        v6_domain_count=rng.randint(1, 9),
+                    )
+                    for _ in range(rng.randint(0, 30))
+                ),
+            )
+
+        for _ in range(40):
+            siblings_a, siblings_b = random_siblings(), random_siblings()
+            assert compare_inputs(
+                "a", siblings_a, "b", siblings_b
+            ) == oracle("a", siblings_a, "b", siblings_b)
+
     def test_rdns_inventory_shared_names(self, tiny_universe):
         names = tiny_universe.rdns_inventory(REFERENCE_DATE)
         assert names

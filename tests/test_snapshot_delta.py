@@ -1,0 +1,282 @@
+"""Snapshot-delta edge cases: appear, disappear, flip, one-family change.
+
+The incremental pipeline's correctness rests on two layers doing exact
+bookkeeping: :meth:`DnsSnapshot.delta_to` must classify every domain
+transition, and :meth:`PrefixDomainIndex.apply_delta` must translate
+those transitions into index mutations that land on exactly the state a
+from-scratch :func:`build_index` of the new snapshot would produce.
+Every test here asserts both layers directly, without the detection
+engines on top.
+"""
+
+import datetime
+
+import pytest
+
+from repro.bgp.rib import Rib
+from repro.bgp.routeviews import PrefixAnnotator
+from repro.core.domainsets import build_index
+from repro.dns.openintel import (
+    DnsSnapshot,
+    DomainObservation,
+    SnapshotDelta,
+    SnapshotSeries,
+)
+from repro.nettypes.addr import IPV4, IPV6
+from repro.nettypes.prefix import Prefix
+
+DATE_0 = datetime.date(2024, 9, 1)
+DATE_1 = datetime.date(2024, 9, 2)
+DATE_2 = datetime.date(2024, 9, 3)
+
+# Public, non-reserved space: the annotator discards reserved addresses.
+V4_PREFIXES = [
+    Prefix.from_address(IPV4, (20 << 24) | (i << 8), 24) for i in range(8)
+]
+V6_PREFIXES = [
+    Prefix.from_address(IPV6, (0x2400_00DB << 96) | (i << 80), 48)
+    for i in range(8)
+]
+
+
+def v4(pool: int, offset: int = 1) -> int:
+    return V4_PREFIXES[pool].first_address + offset
+
+
+def v6(pool: int, offset: int = 1) -> int:
+    return V6_PREFIXES[pool].first_address + offset
+
+
+def make_annotator() -> PrefixAnnotator:
+    rib = Rib()
+    for position, prefix in enumerate(V4_PREFIXES + V6_PREFIXES):
+        rib.announce(prefix, 65000 + position)
+    return PrefixAnnotator(rib, missing_fraction=0.0)
+
+
+def obs(domain: str, v4_addresses=(), v6_addresses=()) -> DomainObservation:
+    return DomainObservation(
+        domain, tuple(v4_addresses), tuple(v6_addresses)
+    )
+
+
+def snap(date: datetime.date, observations) -> DnsSnapshot:
+    return DnsSnapshot(date, observations)
+
+
+class TestDeltaClassification:
+    def test_appearing_domain_is_added(self):
+        old = snap(DATE_0, [obs("a.example", [v4(0)], [v6(0)])])
+        new = snap(
+            DATE_1,
+            [
+                obs("a.example", [v4(0)], [v6(0)]),
+                obs("b.example", [v4(1)], [v6(1)]),
+            ],
+        )
+        delta = old.delta_to(new)
+        assert [o.domain for o in delta.added] == ["b.example"]
+        assert delta.removed == ()
+        assert delta.changed == ()
+        assert delta.old_date == DATE_0 and delta.new_date == DATE_1
+
+    def test_disappearing_domain_is_removed(self):
+        old = snap(
+            DATE_0,
+            [
+                obs("a.example", [v4(0)], [v6(0)]),
+                obs("b.example", [v4(1)], [v6(1)]),
+            ],
+        )
+        new = snap(DATE_1, [obs("a.example", [v4(0)], [v6(0)])])
+        delta = old.delta_to(new)
+        assert delta.added == ()
+        assert delta.removed == ("b.example",)
+        assert delta.changed == ()
+
+    def test_dual_stack_flip_is_changed_not_removed(self):
+        old = snap(DATE_0, [obs("a.example", [v4(0)], [v6(0)])])
+        new = snap(DATE_1, [obs("a.example", [v4(0)], [])])
+        delta = old.delta_to(new)
+        assert delta.removed == () and delta.added == ()
+        ((before, after),) = delta.changed
+        assert before.is_dual_stack and not after.is_dual_stack
+
+    def test_one_family_address_change(self):
+        old = snap(DATE_0, [obs("a.example", [v4(0, 1)], [v6(0)])])
+        new = snap(DATE_1, [obs("a.example", [v4(0, 2)], [v6(0)])])
+        ((before, after),) = old.delta_to(new).changed
+        assert before.v4_addresses != after.v4_addresses
+        assert before.v6_addresses == after.v6_addresses
+
+    def test_unchanged_snapshot_yields_empty_delta(self):
+        observations = [obs("a.example", [v4(0)], [v6(0)])]
+        delta = snap(DATE_0, observations).delta_to(snap(DATE_1, observations))
+        assert delta.is_empty
+        assert delta.touched_domains == 0
+
+    def test_series_delta_and_consecutive_deltas(self):
+        series = SnapshotSeries(
+            [
+                snap(DATE_0, [obs("a.example", [v4(0)], [v6(0)])]),
+                snap(DATE_1, [obs("b.example", [v4(1)], [v6(1)])]),
+                snap(DATE_2, []),
+            ]
+        )
+        direct = series.delta(DATE_0, DATE_2)
+        assert direct.removed == ("a.example",)
+        assert direct.added == ()
+        steps = list(series.deltas())
+        assert len(steps) == 2
+        assert isinstance(steps[0], SnapshotDelta)
+        assert steps[0].removed == ("a.example",)
+        assert [o.domain for o in steps[0].added] == ["b.example"]
+        assert steps[1].removed == ("b.example",)
+
+
+def assert_index_contents_equal(incremental, fresh):
+    """The delta-maintained index equals a from-scratch build."""
+    assert incremental.domain_v4_prefixes == fresh.domain_v4_prefixes
+    assert incremental.domain_v6_prefixes == fresh.domain_v6_prefixes
+    assert incremental.domain_v4_addresses == fresh.domain_v4_addresses
+    assert incremental.domain_v6_addresses == fresh.domain_v6_addresses
+    assert incremental.v4_domains == fresh.v4_domains
+    assert incremental.v6_domains == fresh.v6_domains
+    assert incremental.dropped_labels == fresh.dropped_labels
+    assert incremental.dropped_domains == fresh.dropped_domains
+    assert incremental.date == fresh.date
+
+
+def roll(old_observations, new_observations):
+    """apply_delta old → new; returns (rolled index, fresh index)."""
+    annotator = make_annotator()
+    old_snapshot = snap(DATE_0, old_observations)
+    new_snapshot = snap(DATE_1, new_observations)
+    index = build_index(old_snapshot, annotator)
+    index.apply_delta(old_snapshot.delta_to(new_snapshot), annotator)
+    return index, build_index(new_snapshot, make_annotator())
+
+
+class TestApplyDelta:
+    def test_appearing_domain(self):
+        index, fresh = roll(
+            [obs("a.example", [v4(0)], [v6(0)])],
+            [
+                obs("a.example", [v4(0)], [v6(0)]),
+                obs("b.example", [v4(1)], [v6(1)]),
+            ],
+        )
+        assert_index_contents_equal(index, fresh)
+        assert "b.example" in index.domain_v4_prefixes
+
+    def test_disappearing_domain_cleans_empty_prefixes(self):
+        index, fresh = roll(
+            [
+                obs("a.example", [v4(0)], [v6(0)]),
+                obs("b.example", [v4(1)], [v6(1)]),
+            ],
+            [obs("a.example", [v4(0)], [v6(0)])],
+        )
+        assert_index_contents_equal(index, fresh)
+        assert V4_PREFIXES[1] not in index.v4_domains
+        assert V6_PREFIXES[1] not in index.v6_domains
+
+    def test_dual_stack_flip_off_removes_from_index(self):
+        index, fresh = roll(
+            [obs("a.example", [v4(0)], [v6(0)])],
+            [obs("a.example", [v4(0)], [])],
+        )
+        assert_index_contents_equal(index, fresh)
+        assert index.domain_count == 0
+
+    def test_dual_stack_flip_on_inserts(self):
+        index, fresh = roll(
+            [obs("a.example", [v4(0)], [])],
+            [obs("a.example", [v4(0)], [v6(0)])],
+        )
+        assert_index_contents_equal(index, fresh)
+        assert index.domain_count == 1
+
+    def test_one_family_prefix_move(self):
+        index, fresh = roll(
+            [obs("a.example", [v4(0)], [v6(0)])],
+            [obs("a.example", [v4(2)], [v6(0)])],
+        )
+        assert_index_contents_equal(index, fresh)
+        assert index.domain_v4_prefixes["a.example"] == {V4_PREFIXES[2]}
+
+    def test_renumber_within_prefix_keeps_membership_and_updates_addresses(self):
+        annotator = make_annotator()
+        old_snapshot = snap(DATE_0, [obs("a.example", [v4(0, 7)], [v6(0)])])
+        new_snapshot = snap(DATE_1, [obs("a.example", [v4(0, 8)], [v6(0)])])
+        index = build_index(old_snapshot, annotator)
+        recorded = index.apply_delta(
+            old_snapshot.delta_to(new_snapshot), annotator
+        )
+        # Membership unchanged → the recorded IndexDelta is empty, but
+        # the concrete addresses (SP-Tuner input) moved.
+        assert recorded.is_empty
+        assert index.domain_v4_addresses["a.example"] == (v4(0, 8),)
+        assert_index_contents_equal(
+            index, build_index(new_snapshot, make_annotator())
+        )
+
+    def test_domain_dropping_to_unrouted_space_and_back(self):
+        unrouted = (21 << 24) | 1  # public space, but not announced
+        index, fresh = roll(
+            [obs("a.example", [v4(0)], [v6(0)])],
+            [obs("a.example", [unrouted], [v6(0)])],
+        )
+        assert_index_contents_equal(index, fresh)
+        assert index.dropped_domains == 1
+        # ... and back into routed space.
+        annotator = make_annotator()
+        back = snap(DATE_2, [obs("a.example", [v4(3)], [v6(0)])])
+        index.apply_delta(
+            snap(DATE_1, [obs("a.example", [unrouted], [v6(0)])]).delta_to(back),
+            annotator,
+        )
+        assert_index_contents_equal(index, build_index(back, make_annotator()))
+        assert index.dropped_domains == 0
+
+    def test_version_and_delta_log(self):
+        annotator = make_annotator()
+        s0 = snap(DATE_0, [obs("a.example", [v4(0)], [v6(0)])])
+        s1 = snap(DATE_1, [obs("b.example", [v4(1)], [v6(1)])])
+        index = build_index(s0, annotator)
+        assert index.version == 0
+        recorded = index.apply_delta(s0.delta_to(s1), annotator)
+        assert index.version == 1 == recorded.version
+        assert index.deltas_since(0) == [recorded]
+        assert index.deltas_since(1) == []
+        index.mark_mutated()
+        assert index.version == 2
+        # mark_mutated leaves no delta: the chain from 1 is broken.
+        assert index.deltas_since(1) is None
+        assert index.deltas_since(0) is None
+
+
+def test_rib_signature_tracks_contents():
+    rib_a = Rib()
+    rib_b = Rib()
+    for rib in (rib_a, rib_b):
+        rib.announce(V4_PREFIXES[0], 65000)
+        rib.announce(V6_PREFIXES[0], 65001)
+    assert rib_a.signature() == rib_b.signature()
+    annotator_a = PrefixAnnotator(rib_a, missing_fraction=0.0)
+    annotator_b = PrefixAnnotator(rib_b, missing_fraction=0.0)
+    assert annotator_a.signature() == annotator_b.signature()
+    rib_b.announce(V4_PREFIXES[1], 65002)
+    assert rib_a.signature() != rib_b.signature()
+    assert annotator_a.signature() != annotator_b.signature()
+    rib_b.withdraw(V4_PREFIXES[1])
+    assert rib_a.signature() == rib_b.signature()
+    # Differing missing fractions annotate differently even on equal RIBs.
+    assert (
+        PrefixAnnotator(rib_a, missing_fraction=0.0).signature()
+        != PrefixAnnotator(rib_a, missing_fraction=0.5).signature()
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
