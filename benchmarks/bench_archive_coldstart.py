@@ -1,0 +1,138 @@
+"""Serve cold-start: archive mmap attach vs codec load-and-compile.
+
+Before the snapshot archive, starting ``repro serve`` meant reading the
+whole ``.sibidx`` file, materializing every :class:`PublishedPair`, and
+recompiling the lookup index (sort + group + pack).  The archive path
+(``repro serve --archive``) attaches to the newest generation via
+``mmap``: one footer + manifest parse, zero pair objects, zero
+recompilation — keys, postings, and records serve from the page cache
+and pairs materialize per answer.
+
+Each timed leg builds a ready-to-answer :class:`SiblingQueryService`
+*and* answers a first query (so the archive leg pays its lazy segment
+CRC validation inside the measurement), at three universe scales.
+Both legs must return identical answers; the PR 5 acceptance bar —
+archive cold-start ≥ 20× the codec path at the largest (medium) scale
+— is asserted here and recorded in ``results/archive_coldstart.txt``.
+
+Timing is ``time.perf_counter`` best-of loops (the tests report a
+ratio between two legs); the module still runs once, untimed, under
+``--benchmark-disable`` in the CI smoke job.
+"""
+
+import datetime
+import time
+
+import pytest
+
+from repro.analysis.pipeline import detect_at
+from repro.dates import REFERENCE_DATE
+from repro import publish
+from repro.serving.codec import save_index
+from repro.serving.index import SiblingLookupIndex
+from repro.serving.service import SiblingQueryService
+
+from benchmarks.common import RESULTS_DIR, get_universe
+
+SCALES = ("tiny", "small", "medium")
+ROUNDS = 7
+
+_LINES: list[str] = []
+
+_INDEXES: dict[str, SiblingLookupIndex] = {}
+
+
+def _index_for(scale: str) -> SiblingLookupIndex:
+    """Session-cached compiled index for one scenario scale."""
+    index = _INDEXES.get(scale)
+    if index is None:
+        siblings, _ = detect_at(get_universe(scale), REFERENCE_DATE)
+        index = SiblingLookupIndex.from_siblings(siblings)
+        _INDEXES[scale] = index
+    return index
+
+
+def _best_of(func, rounds: int = ROUNDS) -> tuple[float, object]:
+    """(best elapsed seconds, last result) over *rounds* calls."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _flush_results() -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = [
+        "serve cold-start: archive mmap attach vs codec load+compile",
+        "=" * 59,
+        "",
+        "each leg = build a ready SiblingQueryService + answer 1 query",
+        "",
+        f"{'scale':<8} {'pairs':>6} {'codec':>12} {'archive':>12} "
+        f"{'speedup':>9}",
+    ]
+    (RESULTS_DIR / "archive_coldstart.txt").write_text(
+        "\n".join(header + _LINES) + "\n"
+    )
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_archive_coldstart_speedup(scale, tmp_path):
+    """Cold-start a service from .sibidx vs .sparch; identical answers."""
+    index = _index_for(scale)
+    date = datetime.date(2024, 9, 11)
+    sibidx = tmp_path / f"{scale}.sibidx"
+    sparch = tmp_path / f"{scale}.sparch"
+    save_index(index, sibidx)
+    publish.write_archive(index.pairs, sparch, date)
+
+    probe = str(index.pairs[len(index) // 2].v4_prefix)
+
+    def codec_leg():
+        service = SiblingQueryService.from_file(sibidx)
+        return service.lookup(probe)
+
+    def archive_leg():
+        service = SiblingQueryService.from_archive(sparch)
+        answer = service.lookup(probe)
+        service.index.close()
+        return answer
+
+    codec_elapsed, codec_answer = _best_of(codec_leg)
+    archive_elapsed, archive_answer = _best_of(archive_leg)
+    assert codec_answer == archive_answer, "legs disagree on the probe query"
+
+    speedup = codec_elapsed / archive_elapsed if archive_elapsed else float("inf")
+    _LINES.append(
+        f"{scale:<8} {len(index):>6} {codec_elapsed * 1e3:>10.2f}ms "
+        f"{archive_elapsed * 1e3:>10.3f}ms {speedup:>8.1f}x"
+    )
+    _flush_results()
+
+    if scale == SCALES[-1]:
+        assert speedup >= 20, (
+            f"archive cold-start only {speedup:.1f}x over codec "
+            f"load+compile at {scale} scale (PR 5 acceptance bar is 20x)"
+        )
+
+
+def test_archive_coldstart_answers_match_in_memory(tmp_path):
+    """Sanity inside the bench: the mapped service answers like the
+    in-memory index it was built from, over a spread of queries."""
+    index = _index_for("small")
+    sparch = tmp_path / "check.sparch"
+    publish.write_archive(index.pairs, sparch, datetime.date(2024, 9, 11))
+    service = SiblingQueryService.from_archive(sparch)
+    memory = SiblingQueryService(index)
+    for pair in index.pairs[:: max(1, len(index) // 50)]:
+        for prefix in (pair.v4_prefix, pair.v6_prefix):
+            assert service.lookup(str(prefix)) == memory.lookup(str(prefix))
+    service.index.close()
+    _LINES.append("")
+    _LINES.append(
+        f"answer-equivalence spot check: ok over ~100 queries (small)"
+    )
+    _flush_results()

@@ -16,18 +16,29 @@ scales with daily churn instead of dataset size.  The mode is exact —
 bit-identical to full recomputation at every date — because delta
 application is gated on the annotator's content signature: a date whose
 routing tables changed rebuilds from scratch, automatically.
+
+``archive=PATH`` (on :func:`detect_series`, plus the single-date
+:func:`archive_detection` behind ``repro detect --archive``) persists
+every detected date into a ``.sparch`` snapshot archive
+(:mod:`repro.storage`) and *resumes* from one: dates already archived
+load back instead of recomputing (gated on the annotator digest), and
+with ``incremental=True`` the run restores the newest archived
+columnar state — interned pool, CSR posting lists, packed Step-3
+counters — so it continues delta-rolling from the last archived date
+rather than re-detecting the whole prefix of the series.
 """
 
 from __future__ import annotations
 
 import datetime
+import pathlib
 from typing import Iterable
 
 from repro.core.detection import detect_with_index
 from repro.core.domainsets import PrefixDomainIndex, build_index
 from repro.core.siblings import SiblingSet
 from repro.core.sptuner import SpTunerMS, TunerConfig
-from repro.core.substrate import Substrate, get_substrate
+from repro.core.substrate import ColumnarSubstrate, Substrate, get_substrate
 from repro.dates import add_months
 from repro.synth.universe import Universe
 
@@ -67,6 +78,7 @@ def detect_series(
     substrate: "str | Substrate | None" = None,
     workers: int | None = None,
     incremental: bool = False,
+    archive: "str | pathlib.Path | None" = None,
 ) -> list[tuple[datetime.date, SiblingSet]]:
     """Detect siblings on every date, sharing one substrate instance.
 
@@ -87,18 +99,47 @@ def detect_series(
     columnar view and persistent Step-3 counters from the recorded
     index deltas, so per-date cost tracks churn.  Results are
     bit-identical to ``incremental=False``.
+
+    With ``archive=PATH`` the series is backed by a ``.sparch``
+    snapshot archive: leading dates already archived (same date, same
+    annotator digest) load back instead of recomputing, the remaining
+    dates detect as usual — resuming from the archived columnar state
+    when ``incremental=True`` — and every newly computed date is
+    appended to the archive (sibling list + compiled lookup index,
+    plus the final date's substrate state).  Results stay bit-identical
+    to an archiveless run; if the resolved engine's intern pool has
+    diverged from the archived one, a fresh private engine of the same
+    class is used for the run instead.
     """
     engine = get_substrate(substrate, workers=workers)
+    if archive is not None:
+        return _detect_series_archived(
+            universe, list(dates), engine, incremental, pathlib.Path(archive)
+        )
     if not incremental:
         return [
             (date, detect_at(universe, date, substrate=engine)[0])
             for date in dates
         ]
+    results, _index = _detect_incremental(universe, list(dates), engine)
+    return results
 
+
+def _detect_incremental(
+    universe: Universe,
+    dates: list[datetime.date],
+    engine: Substrate,
+    index: "PrefixDomainIndex | None" = None,
+    previous_snapshot=None,
+    previous_signature=None,
+):
+    """The delta-rolling loop shared by plain and archived runs.
+
+    Starting state may be seeded (*index* + the snapshot/signature it
+    was built from) by the archive resume path; returns the per-date
+    results alongside the final evolving index.
+    """
     results: list[tuple[datetime.date, SiblingSet]] = []
-    index: PrefixDomainIndex | None = None
-    previous_snapshot = None
-    previous_signature = None
     for date in dates:
         snapshot = universe.snapshot_at(date)
         annotator = universe.annotator_at(date)
@@ -110,7 +151,259 @@ def detect_series(
         results.append((date, engine.select(index)))
         previous_snapshot = snapshot
         previous_signature = signature
-    return results
+    return results, index
+
+
+class _StandalonePool:
+    """A gid pool for archiving runs whose engine has no intern pool
+    (the reference substrate): positional names + a name → gid dict."""
+
+    def __init__(self, names: Iterable[str] = ()):
+        self.names = list(names)
+        self._gids = {name: gid for gid, name in enumerate(self.names)}
+
+    def intern(self, name: str) -> int:
+        """The pool gid for *name*, allocated on first sight."""
+        gid = self._gids.get(name)
+        if gid is None:
+            gid = len(self.names)
+            self._gids[name] = gid
+            self.names.append(name)
+        return gid
+
+    def export_pool(self) -> list[str]:
+        """Snapshot of the pool, gid order (mirrors the substrate API)."""
+        return list(self.names)
+
+
+def _pool_for_archive(engine: Substrate, pool_names: list[str]):
+    """The (engine, pool) pair an archived run writes gids against.
+
+    A columnar-family engine must share its intern pool with the
+    archive (archived state CSR data *is* pool gids); adoption fails
+    only when this process's shared engine already interned a
+    different universe, in which case a fresh private engine of the
+    same class takes over — exactness beats instance sharing.
+    """
+    if isinstance(engine, ColumnarSubstrate):
+        try:
+            engine.adopt_pool(pool_names)
+        except ValueError:
+            fresh = type(engine)()
+            for attribute in ("workers", "min_pair_rows"):
+                if hasattr(engine, attribute):
+                    setattr(fresh, attribute, getattr(engine, attribute))
+            fresh.adopt_pool(pool_names)
+            engine = fresh
+        return engine, engine
+    return engine, _StandalonePool(pool_names)
+
+
+def _append_archive(
+    path: pathlib.Path,
+    universe: Universe,
+    new_results: list[tuple[datetime.date, SiblingSet]],
+    pool,
+    engine: Substrate,
+    final_index: "PrefixDomainIndex | None",
+    published_by_date: "dict | None" = None,
+    raw: bool = True,
+) -> None:
+    """Append newly computed dates (and the final state) to the archive.
+
+    *raw* records whether the sibling lists are untransformed detection
+    output; tuned or filtered lists are archived with ``raw: false`` so
+    an archived ``detect_series`` never replays them as detections.
+    """
+    from repro.serving.index import SiblingLookupIndex
+    from repro.storage import index_io, substrate_io
+    from repro.storage.archive import ArchiveWriter
+
+    with ArchiveWriter.open(path) as writer:
+        for position, (date, siblings) in enumerate(new_results):
+            digest = substrate_io.annotator_digest(universe.annotator_at(date))
+            # Idempotence is per (date, detection identity): a date whose
+            # routing changed since it was archived gets a *new*
+            # generation — newest wins on read — so the archive heals
+            # instead of serving the stale result forever.
+            if writer.has_generation(
+                date.isoformat(), substrate_io.SIBLINGS_KIND, digest
+            ):
+                continue
+            segments, siblings_meta = substrate_io.siblings_segments(
+                siblings, pool.intern
+            )
+            siblings_meta["raw"] = raw
+            published = (published_by_date or {}).get(date)
+            lookup_segments, index_meta = index_io.index_segments(
+                SiblingLookupIndex.from_pairs(published, date)
+                if published is not None
+                else SiblingLookupIndex.from_siblings(siblings)
+            )
+            segments.update(lookup_segments)
+            meta = {
+                substrate_io.SIBLINGS_KIND: siblings_meta,
+                index_io.KIND: index_meta,
+            }
+            index_signature = None
+            is_final = position == len(new_results) - 1
+            if (
+                is_final
+                and final_index is not None
+                and isinstance(engine, ColumnarSubstrate)
+            ):
+                state = engine.prepare(final_index)
+                state_segments, state_meta = substrate_io.state_segments(state)
+                state_segments["state.dom_gids"] = substrate_io.state_dom_gids(
+                    state, pool.intern
+                )
+                segments.update(state_segments)
+                meta[substrate_io.STATE_KIND] = state_meta
+                index_signature = final_index.content_signature()
+            writer.append_generation(
+                date.isoformat(),
+                segments,
+                meta,
+                annotator_signature=digest,
+                index_signature=index_signature,
+            )
+        writer.append_pool(pool.export_pool()[writer.pool_count:])
+
+
+def _detect_series_archived(
+    universe: Universe,
+    dates: list[datetime.date],
+    engine: Substrate,
+    incremental: bool,
+    path: pathlib.Path,
+) -> list[tuple[datetime.date, SiblingSet]]:
+    """The archive-backed :func:`detect_series` body: load the archived
+    prefix of the series, resume state when possible, append the rest."""
+    from repro.storage import substrate_io
+    from repro.storage.archive import ArchiveReader
+
+    archived: list[tuple[datetime.date, SiblingSet]] = []
+    pool_names: list[str] = []
+    pool = None
+    resume_index: PrefixDomainIndex | None = None
+    resume_snapshot = None
+    resume_signature = None
+    if path.exists():
+        with ArchiveReader.open(path) as reader:
+            pool_names = reader.pool_names()
+            by_date = reader.generations_by_date(substrate_io.SIBLINGS_KIND)
+            for date in dates:
+                generation = by_date.get(date.isoformat())
+                if generation is None or (
+                    not generation.meta[substrate_io.SIBLINGS_KIND].get(
+                        "raw", True
+                    )
+                ) or (
+                    generation.annotator_signature
+                    != substrate_io.annotator_digest(universe.annotator_at(date))
+                ):
+                    break
+                archived.append(
+                    (date, substrate_io.load_siblings(generation, pool_names))
+                )
+            remaining = dates[len(archived):]
+            if archived and remaining and incremental:
+                state_generation = reader.latest(substrate_io.STATE_KIND)
+                last_date = archived[-1][0]
+                if (
+                    state_generation is not None
+                    and state_generation.date == last_date.isoformat()
+                    and isinstance(engine, ColumnarSubstrate)
+                ):
+                    snapshot = universe.snapshot_at(last_date)
+                    annotator = universe.annotator_at(last_date)
+                    index = build_index(snapshot, annotator)
+                    if (
+                        state_generation.index_signature
+                        == index.content_signature()
+                    ):
+                        engine, pool = _pool_for_archive(engine, pool_names)
+                        state = substrate_io.restore_state(
+                            state_generation, pool_names
+                        )
+                        try:
+                            engine.adopt_state(index, state)
+                        except ValueError:
+                            pass  # structure drifted: plain rebuild below
+                        else:
+                            resume_index = index
+                            resume_snapshot = snapshot
+                            resume_signature = annotator.signature()
+    remaining = dates[len(archived):]
+    if not remaining:
+        return archived
+
+    if pool is None:
+        engine, pool = _pool_for_archive(engine, pool_names)
+
+    if incremental:
+        new_results, final_index = _detect_incremental(
+            universe,
+            remaining,
+            engine,
+            index=resume_index,
+            previous_snapshot=resume_snapshot,
+            previous_signature=resume_signature,
+        )
+    else:
+        new_results = []
+        final_index = None
+        for date in remaining:
+            siblings, final_index = detect_at(universe, date, substrate=engine)
+            new_results.append((date, siblings))
+
+    _append_archive(path, universe, new_results, pool, engine, final_index)
+    return archived + new_results
+
+
+def archive_detection(
+    archive: "str | pathlib.Path",
+    universe: Universe,
+    date: datetime.date,
+    siblings: SiblingSet,
+    index: "PrefixDomainIndex | None" = None,
+    substrate: "str | Substrate | None" = None,
+    workers: int | None = None,
+    published: "list | None" = None,
+    raw: bool = True,
+) -> pathlib.Path:
+    """Append one date's detection artifacts to a ``.sparch`` archive.
+
+    The single-date sibling of the ``archive=`` mode of
+    :func:`detect_series`, behind ``repro detect --archive``: the
+    sibling list, a compiled lookup index (built from *published*
+    enriched pairs when given, else from the raw *siblings*), and —
+    when *index* is the detection's :class:`PrefixDomainIndex` and the
+    engine is columnar-family — the substrate state, so a later
+    ``detect-series --archive --incremental`` resumes from this date.
+    A date already archived is skipped (appends are idempotent per
+    date).  Creates the archive if missing; returns its path.
+    """
+    from repro.storage.archive import ArchiveReader
+
+    path = pathlib.Path(archive)
+    engine = get_substrate(substrate, workers=workers)
+    pool_names: list[str] = []
+    if path.exists():
+        with ArchiveReader.open(path) as reader:
+            pool_names = reader.pool_names()
+    engine, pool = _pool_for_archive(engine, pool_names)
+    _append_archive(
+        path,
+        universe,
+        [(date, siblings)],
+        pool,
+        engine,
+        index,
+        published_by_date={date: published} if published is not None else None,
+        raw=raw,
+    )
+    return path
 
 
 def serve_series(

@@ -4,14 +4,17 @@ Subcommands:
 
 * ``detect``     — run the detection pipeline on a scenario and print or
   export the sibling prefix list (CSV/JSONL, optionally tuned), and/or
-  compile the binary lookup index (``--emit-index``).
+  compile the binary lookup index (``--emit-index``) or append to a
+  ``.sparch`` snapshot archive (``--archive``).
 * ``detect-series`` — run detection over a longitudinal date series
-  (one shared substrate/intern pool across all snapshots).
+  (one shared substrate/intern pool across all snapshots); with
+  ``--archive`` the series resumes from / appends to an archive.
 * ``experiment`` — run any registered per-figure experiment.
 * ``scenarios``  — list the available scenario presets.
 * ``lookup``     — longest-prefix-match query against an export (binary
   index files are memory-loaded; CSV exports are streamed).
-* ``serve``      — stand up the JSON HTTP lookup endpoint.
+* ``serve``      — stand up the JSON HTTP lookup endpoint over an
+  index/CSV file, or ``--archive`` for a zero-copy ``mmap`` attach.
 
 Exit codes: 0 success, 1 lookup miss, 2 usage/input error.
 """
@@ -74,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(servable via `repro serve`)",
     )
     detect.add_argument(
+        "--archive",
+        metavar="PATH",
+        help="append this date's detection (sibling list, compiled lookup "
+        "index, substrate state) to the .sparch snapshot archive at PATH, "
+        "creating it if missing (servable via `repro serve --archive`)",
+    )
+    detect.add_argument(
         "--with-rov", action="store_true", help="attach ROV status (slower)"
     )
     detect.add_argument(
@@ -104,6 +114,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="detect date 0 in full, then roll snapshot deltas forward "
         "(bit-identical results; cost scales with daily churn)",
     )
+    series.add_argument(
+        "--archive",
+        metavar="PATH",
+        help="back the series by the .sparch snapshot archive at PATH: "
+        "already-archived dates load back instead of recomputing "
+        "(with --incremental the run resumes from the archived substrate "
+        "state), and newly detected dates are appended",
+    )
     _add_substrate_options(series)
 
     experiment = sub.add_parser("experiment", help="run a per-figure experiment")
@@ -122,7 +140,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="run the JSON HTTP lookup service")
     serve.add_argument(
-        "list_file", help="binary index or CSV export to serve"
+        "list_file",
+        nargs="?",
+        help="binary index or CSV export to serve (omit with --archive)",
+    )
+    serve.add_argument(
+        "--archive",
+        metavar="PATH",
+        help="serve the newest generation of the .sparch snapshot archive "
+        "at PATH (mmap attach: no recompilation at start)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
@@ -173,6 +199,24 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"compiled {count} pairs into lookup index {args.emit_index}",
             file=sys.stderr,
         )
+    if args.archive:
+        from repro.analysis.pipeline import archive_detection
+
+        archive_detection(
+            args.archive,
+            universe,
+            REFERENCE_DATE,
+            siblings,
+            index=index,
+            substrate=args.substrate,
+            workers=args.workers,
+            published=published,
+            raw=not (args.tune or args.min_jaccard > 0.0),
+        )
+        print(
+            f"archived {len(published)} pairs into {args.archive}",
+            file=sys.stderr,
+        )
 
     stream = open(args.output, "w") if args.output else sys.stdout
     try:
@@ -220,6 +264,7 @@ def _cmd_detect_series(args: argparse.Namespace) -> int:
         substrate=args.substrate,
         workers=args.workers,
         incremental=args.incremental,
+        archive=args.archive,
     )
 
     stream = open(args.output, "w") if args.output else sys.stdout
@@ -343,9 +388,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.http import serve_forever
     from repro.serving.index import SiblingLookupIndex
     from repro.serving.service import SiblingQueryService
+    from repro.storage.format import ArchiveFormatError
+
+    if bool(args.archive) == bool(args.list_file):
+        print(
+            "error: serve needs exactly one of FILE or --archive PATH",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
-        if is_index_file(args.list_file):
+        if args.archive:
+            service = SiblingQueryService.from_archive(args.archive)
+        elif is_index_file(args.list_file):
             service = SiblingQueryService.from_file(args.list_file)
         else:
             with open(args.list_file) as stream:
@@ -363,10 +418,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (
         publish.PublishFormatError,
         CodecError,
+        ArchiveFormatError,
         UnicodeDecodeError,
         csv.Error,
     ) as exc:
-        print(f"error: {args.list_file!r}: {exc}", file=sys.stderr)
+        print(
+            f"error: {(args.archive or args.list_file)!r}: {exc}",
+            file=sys.stderr,
+        )
         return 2
     try:
         serve_forever(service, args.host, args.port)

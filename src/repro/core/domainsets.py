@@ -111,6 +111,34 @@ class PrefixDomainIndex:
         table = self.v4_domains if prefix.version == IPV4 else self.v6_domains
         return frozenset(table.get(prefix, ()))
 
+    def content_signature(self) -> str:
+        """Order-independent hex digest of the full membership content.
+
+        Two indexes with identical domain → (v4 prefixes, v6 prefixes)
+        mappings — however they were built, from scratch or through any
+        delta sequence — hash identically.  The snapshot archive
+        (:mod:`repro.storage`) records this per state generation and
+        refuses to resume from a state whose signature does not match
+        the freshly rebuilt index, so a changed scenario or date grid
+        degrades to a rebuild instead of serving stale counters.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for domain in sorted(self.domain_v4_prefixes):
+            digest.update(domain.encode("utf-8"))
+            digest.update(b"\x00")
+            for prefix in sorted(self.domain_v4_prefixes[domain]):
+                digest.update(str(prefix).encode("ascii"))
+                digest.update(b";")
+            digest.update(b"\x01")
+            for prefix in sorted(self.domain_v6_prefixes[domain]):
+                digest.update(str(prefix).encode("ascii"))
+                digest.update(b";")
+            digest.update(b"\x02")
+        digest.update(str(self.dropped_domains).encode("ascii"))
+        return digest.hexdigest()
+
     # -- mutation protocol ----------------------------------------------------
 
     def mark_mutated(self) -> None:

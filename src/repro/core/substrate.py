@@ -376,6 +376,43 @@ class ColumnarSubstrate(Substrate):
         """How many distinct domains this pool has seen (all snapshots)."""
         return len(self._domain_names)
 
+    def intern(self, domain: str) -> int:
+        """Public interning hook: the dense pool gid for *domain*.
+
+        Used by the snapshot archive (:mod:`repro.storage`) to encode
+        shared-domain sets as gids against the same pool the substrate
+        persists.
+        """
+        return self._intern_domain(domain)
+
+    def export_pool(self) -> list[str]:
+        """A snapshot copy of the interned pool, gid order.
+
+        Position *i* is the domain with gid *i* — the exact layout the
+        archive's ``pool.*`` segments persist.
+        """
+        return list(self._domain_names)
+
+    def adopt_pool(self, names: Iterable[str]) -> None:
+        """Align this substrate's intern pool with an archived one.
+
+        Interns every name in order and then verifies positions:
+        archived gids are positional, so the archived pool must end up
+        a prefix of (or equal to) this instance's pool.  A fresh
+        instance adopts wholesale; an instance whose pool already
+        diverged raises ``ValueError`` — the caller should fall back
+        to a full rebuild with a fresh substrate rather than mix two
+        gid spaces.
+        """
+        names = list(names)
+        for name in names:
+            self._intern_domain(name)
+        if self._domain_names[: len(names)] != names:
+            raise ValueError(
+                "cannot adopt archived domain pool: this substrate's "
+                "intern pool already diverged from it"
+            )
+
     def reset_pool(self) -> None:
         """Drop the interned domain table.
 
@@ -472,6 +509,33 @@ class ColumnarSubstrate(Substrate):
             ),
         )
         return state
+
+    def adopt_state(self, index: PrefixDomainIndex, state: _ColumnarState) -> None:
+        """Attach a restored columnar *state* as *index*'s cached view.
+
+        The resume hook of the snapshot archive
+        (:func:`repro.storage.substrate_io.restore_state`): instead of
+        :meth:`columnarize`-ing a freshly rebuilt index and
+        re-accumulating Step 3 from scratch, the archived state — CSR
+        posting lists, row tables, and the persistent Step-3 counter —
+        is adopted wholesale.  The structural fingerprint of the state
+        must land exactly on the index's (the same cross-check the
+        delta-patch path uses); a mismatch raises ``ValueError`` and
+        the caller should fall back to a full rebuild.
+        """
+        fingerprint = self._fingerprint(index)
+        if self._state_fingerprint(state) != fingerprint:
+            raise ValueError(
+                "archived columnar state does not match this index's "
+                "group structure; rebuild instead of adopting"
+            )
+        setattr(
+            index,
+            self._STATE_ATTR,
+            _ColumnarCacheEntry(
+                self, self._generation, index.version, fingerprint, state
+            ),
+        )
 
     # -- incremental patching --------------------------------------------------
 

@@ -25,6 +25,15 @@ Every failure mode is a :class:`CodecError`: wrong magic, an
 unsupported future version, a truncated body, or a checksum mismatch.
 Loaders must reject rather than guess — a serving process would
 otherwise hand out silently wrong answers.
+
+:func:`load_index` parses through an ``mmap`` of the file
+(:class:`repro.storage.format.MappedBuffer`) rather than reading it
+into a ``bytes`` copy first; the CRC is computed over the mapping
+(:func:`repro.storage.format.crc32_view`), the same no-copy validation
+path the snapshot archive reader uses.  The record layout itself
+(:func:`pack_records` / :func:`decode_record`) is shared with the
+archive's per-generation index segments, so one struct definition
+covers both artifacts.
 """
 
 from __future__ import annotations
@@ -33,12 +42,12 @@ import datetime
 import json
 import pathlib
 import struct
-import zlib
-from typing import BinaryIO
+from typing import BinaryIO, Iterable, Sequence
 
 from repro.nettypes.prefix import Prefix, PrefixError
 from repro.publish import PublishedPair
 from repro.serving.index import SiblingLookupIndex
+from repro.storage.format import ArchiveFormatError, MappedBuffer, crc32_view
 
 MAGIC = b"SIBLIDX\n"
 FORMAT_VERSION = 1
@@ -57,28 +66,27 @@ class CodecError(ValueError):
     unsupported format version."""
 
 
-def dump_bytes(index: SiblingLookupIndex) -> bytes:
-    """Serialize *index* into the binary format."""
+RECORD_SIZE = _RECORD.size
+
+
+def pack_records(pairs: Iterable[PublishedPair]) -> tuple[bytes, list[str]]:
+    """Pack *pairs* into the fixed-width record layout.
+
+    Returns ``(records, rov_table)`` — the concatenated 44-byte records
+    and the ROV-status string table they index into.  Shared by
+    :func:`dump_bytes` (the ``.sibidx`` body) and the snapshot
+    archive's per-generation index segments
+    (:mod:`repro.storage.index_io`).
+    """
     rov_table: list[str] = []
     rov_slots: dict[str, int] = {}
-    for pair in index.pairs:
+    body = bytearray()
+    for pair in pairs:
         if pair.rov_status is not None and pair.rov_status not in rov_slots:
             if len(rov_table) >= _NO_ROV:
                 raise CodecError("too many distinct ROV statuses (max 255)")
             rov_slots[pair.rov_status] = len(rov_table)
             rov_table.append(pair.rov_status)
-
-    header = json.dumps(
-        {
-            "snapshot": index.snapshot.isoformat(),
-            "pairs": len(index.pairs),
-            "rov_statuses": rov_table,
-        },
-        separators=(",", ":"),
-    ).encode("utf-8")
-
-    body = bytearray(header)
-    for pair in index.pairs:
         body += _RECORD.pack(
             pair.v4_prefix.value,
             pair.v4_prefix.length,
@@ -91,33 +99,99 @@ def dump_bytes(index: SiblingLookupIndex) -> bytes:
             _SAME_ORG[pair.same_org],
             _NO_ROV if pair.rov_status is None else rov_slots[pair.rov_status],
         )
+    return bytes(body), rov_table
+
+
+def decode_record(
+    buffer, position: int, rov_table: Sequence[str], base: int = 0
+) -> PublishedPair:
+    """Decode record *position* from any bytes-like *buffer*.
+
+    *base* is the byte offset of record 0 inside *buffer*.  The single
+    decode path for ``.sibidx`` loading and the archive's lazily
+    materializing :class:`~repro.storage.index_io.MappedPairTable` —
+    records decode straight out of an ``mmap`` view, one at a time.
+    """
+    (
+        v4_value,
+        v4_length,
+        v6_bytes,
+        v6_length,
+        jaccard,
+        shared,
+        v4_domains,
+        v6_domains,
+        same_org_code,
+        rov_slot,
+    ) = _RECORD.unpack_from(buffer, base + position * _RECORD.size)
+    try:
+        v4_prefix = Prefix(4, v4_value, v4_length)
+        v6_prefix = Prefix(6, int.from_bytes(v6_bytes, "big"), v6_length)
+    except PrefixError as exc:
+        raise CodecError(f"invalid prefix in record {position}: {exc}") from exc
+    if rov_slot != _NO_ROV and rov_slot >= len(rov_table):
+        raise CodecError(f"record {position} references unknown ROV slot")
+    return PublishedPair(
+        v4_prefix=v4_prefix,
+        v6_prefix=v6_prefix,
+        jaccard=jaccard,
+        shared_domains=shared,
+        v4_domains=v4_domains,
+        v6_domains=v6_domains,
+        same_org=_SAME_ORG_BACK.get(same_org_code),
+        rov_status=None if rov_slot == _NO_ROV else rov_table[rov_slot],
+    )
+
+
+def dump_bytes(index: SiblingLookupIndex) -> bytes:
+    """Serialize *index* into the binary format."""
+    records, rov_table = pack_records(index.pairs)
+
+    header = json.dumps(
+        {
+            "snapshot": index.snapshot.isoformat(),
+            "pairs": len(index.pairs),
+            "rov_statuses": rov_table,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+    body = bytearray(header)
+    body += records
 
     out = bytearray(_PREAMBLE.pack(MAGIC, FORMAT_VERSION, 0, len(header)))
     out += body
-    out += struct.pack(">I", zlib.crc32(bytes(body)))
+    out += struct.pack(">I", crc32_view(bytes(body)))
     return bytes(out)
 
 
-def load_bytes(data: bytes) -> SiblingLookupIndex:
-    """Deserialize and recompile an index; rejects anything suspect."""
+def _parse_index(data) -> SiblingLookupIndex:
+    """Parse one serialized index from any bytes-like *data*.
+
+    Works identically over a ``bytes`` object and an ``mmap``-backed
+    :class:`memoryview` — slicing a memoryview copies nothing, and the
+    CRC runs over the buffer in place, so the mapped path
+    (:func:`load_index`) validates without reading the file into
+    memory first.
+    """
     if len(data) < _PREAMBLE.size + 4:
         raise CodecError("truncated index: shorter than the fixed preamble")
     magic, version, _reserved, header_length = _PREAMBLE.unpack_from(data)
     if magic != MAGIC:
-        raise CodecError(f"not a sibling index file (bad magic {magic!r})")
+        raise CodecError(f"not a sibling index file (bad magic {bytes(magic)!r})")
     if version != FORMAT_VERSION:
         raise CodecError(
             f"unsupported index format version {version} "
             f"(this build reads version {FORMAT_VERSION})"
         )
-    body = data[_PREAMBLE.size:-4]
-    (expected_crc,) = struct.unpack(">I", data[-4:])
-    if zlib.crc32(body) != expected_crc:
+    body = data[_PREAMBLE.size:len(data) - 4]
+    (expected_crc,) = struct.unpack_from(">I", data, len(data) - 4)
+    if crc32_view(body) != expected_crc:
         raise CodecError("checksum mismatch: index file is corrupt")
     if len(body) < header_length:
         raise CodecError("truncated index: header extends past end of file")
     try:
-        header = json.loads(body[:header_length].decode("utf-8"))
+        header = json.loads(bytes(body[:header_length]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CodecError(f"malformed index header: {exc}") from exc
 
@@ -135,40 +209,15 @@ def load_bytes(data: bytes) -> SiblingLookupIndex:
             f"({count * _RECORD.size} bytes), found {len(records)} bytes"
         )
 
-    pairs = []
-    for position in range(count):
-        (
-            v4_value,
-            v4_length,
-            v6_bytes,
-            v6_length,
-            jaccard,
-            shared,
-            v4_domains,
-            v6_domains,
-            same_org_code,
-            rov_slot,
-        ) = _RECORD.unpack_from(records, position * _RECORD.size)
-        try:
-            v4_prefix = Prefix(4, v4_value, v4_length)
-            v6_prefix = Prefix(6, int.from_bytes(v6_bytes, "big"), v6_length)
-        except PrefixError as exc:
-            raise CodecError(f"invalid prefix in record {position}: {exc}") from exc
-        if rov_slot != _NO_ROV and rov_slot >= len(rov_table):
-            raise CodecError(f"record {position} references unknown ROV slot")
-        pairs.append(
-            PublishedPair(
-                v4_prefix=v4_prefix,
-                v6_prefix=v6_prefix,
-                jaccard=jaccard,
-                shared_domains=shared,
-                v4_domains=v4_domains,
-                v6_domains=v6_domains,
-                same_org=_SAME_ORG_BACK.get(same_org_code),
-                rov_status=None if rov_slot == _NO_ROV else rov_table[rov_slot],
-            )
-        )
+    pairs = [
+        decode_record(records, position, rov_table) for position in range(count)
+    ]
     return SiblingLookupIndex.from_pairs(pairs, snapshot)
+
+
+def load_bytes(data: bytes) -> SiblingLookupIndex:
+    """Deserialize and recompile an index; rejects anything suspect."""
+    return _parse_index(data)
 
 
 def save_index(index: SiblingLookupIndex, path: "str | pathlib.Path") -> int:
@@ -179,12 +228,19 @@ def save_index(index: SiblingLookupIndex, path: "str | pathlib.Path") -> int:
 
 
 def load_index(path: "str | pathlib.Path") -> SiblingLookupIndex:
-    """Read an index file written by :func:`save_index`."""
+    """Read an index file written by :func:`save_index`.
+
+    The file is ``mmap``-ed, CRC-validated over the mapping, and parsed
+    record-by-record out of the view — at no point does a full ``bytes``
+    copy of the file exist (the old implementation started with
+    ``read_bytes()``).  The mapping is released before returning; the
+    compiled index owns all its memory.
+    """
     try:
-        data = pathlib.Path(path).read_bytes()
-    except OSError as exc:
+        with MappedBuffer(path) as buffer:
+            return _parse_index(buffer.view)
+    except ArchiveFormatError as exc:
         raise CodecError(f"cannot read index file {path}: {exc}") from exc
-    return load_bytes(data)
 
 
 def is_index_file(path: "str | pathlib.Path") -> bool:

@@ -72,6 +72,35 @@ class SiblingQueryService:
 
         return cls(load_index(path), cache_size=cache_size)
 
+    @classmethod
+    def from_archive(cls, path, cache_size: int = 4096) -> "SiblingQueryService":
+        """Service over the newest generation of a ``.sparch`` archive.
+
+        Cold start is an ``mmap`` attach — no pair objects are
+        materialized, no index is recompiled; see
+        :mod:`repro.storage.index_io` and
+        ``benchmarks/bench_archive_coldstart.py``.
+        """
+        from repro.storage.index_io import load_mapped_index
+
+        return cls(load_mapped_index(path), cache_size=cache_size)
+
+    def swap_from_archive(self, path):
+        """Hot-swap to the newest generation of the archive at *path*.
+
+        The publisher-side refresh: after ``detect --archive`` (or an
+        archived ``detect-series``) appended a new generation, the
+        serving process *remaps* — attaches the new generation
+        zero-copy and :meth:`swap`-s it in atomically.  The previous
+        index is returned still-usable (its mapping is only released
+        when the caller closes or drops it); in-flight queries finish
+        on the generation they started with, exactly as with an
+        in-memory swap.
+        """
+        from repro.storage.index_io import load_mapped_index
+
+        return self.swap(load_mapped_index(path))
+
     # -- publishing ----------------------------------------------------------
 
     def swap(self, index: SiblingLookupIndex) -> SiblingLookupIndex | None:

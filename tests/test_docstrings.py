@@ -1,10 +1,10 @@
-"""Docstring presence for the public core and serving APIs.
+"""Docstring presence for the public core, serving, and storage APIs.
 
-Companion to ``test_doctests.py``: every module under ``repro.core``
-and ``repro.serving`` must carry a module docstring, and every public
-function, class, and method must document itself.  This pins the
-documentation layer the architecture docs link into — drift fails CI
-instead of rotting.
+Companion to ``test_doctests.py``: every module under ``repro.core``,
+``repro.serving``, and ``repro.storage`` must carry a module docstring,
+and every public function, class, and method must document itself.
+This pins the documentation layer the architecture docs link into —
+drift fails CI instead of rotting.
 """
 
 import importlib
@@ -15,10 +15,11 @@ import pytest
 
 import repro.core
 import repro.serving
+import repro.storage
 
 
 def _documented_packages():
-    for package in (repro.core, repro.serving):
+    for package in (repro.core, repro.serving, repro.storage):
         for info in pkgutil.iter_modules(
             package.__path__, package.__name__ + "."
         ):

@@ -11,6 +11,8 @@ import repro.nettypes.trie
 import repro.serving.cache
 import repro.serving.index
 import repro.serving.service
+import repro.storage.archive
+import repro.storage.format
 
 MODULES = (
     repro.nettypes.prefix,
@@ -20,6 +22,8 @@ MODULES = (
     repro.serving.cache,
     repro.serving.index,
     repro.serving.service,
+    repro.storage.format,
+    repro.storage.archive,
 )
 
 

@@ -1,0 +1,500 @@
+"""The snapshot archive must be an exact, corruption-rejecting mirror.
+
+Three invariant families:
+
+* **Round-trip exactness** — an archive write → ``mmap`` attach
+  reproduces bit-identical answers: the mapped
+  :class:`~repro.storage.index_io.MappedSiblingIndex` agrees with the
+  in-memory index (and the scan oracle) on every query shape, and
+  ``detect_series(..., archive=...)`` returns the same per-date output
+  as an archiveless run for all three engines — including a run that
+  *resumes* from archived columnar state and continues via appended
+  snapshot deltas (hypothesis-driven churn series).
+* **Format robustness** — truncation, bit flips, bad magic, and future
+  versions raise :class:`~repro.storage.format.ArchiveFormatError`
+  (or :class:`~repro.serving.codec.CodecError` on the ``.sibidx``
+  path); an aborted append leaves every committed generation readable.
+* **Serving integration** — ``SiblingQueryService.from_archive`` /
+  ``swap_from_archive`` answer exactly like the codec-loaded service.
+"""
+
+import datetime
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import as_mapping
+from test_incremental_pipeline import (
+    BASE_DATE,
+    SeriesShim,
+    churn_series,
+    snapshot_from_table,
+)
+
+from repro import publish
+from repro.analysis.pipeline import archive_detection, detect_series
+from repro.core.substrate import ColumnarSubstrate, get_substrate
+from repro.core.parallel import ShardedSubstrate
+from repro.dates import REFERENCE_DATE
+from repro.nettypes.addr import format_address
+from repro.nettypes.prefix import Prefix
+from repro.publish import PublishedPair
+from repro.serving.codec import load_bytes, load_index, save_index
+from repro.serving.index import SiblingLookupIndex, scan_lookup
+from repro.serving.service import SiblingQueryService
+from repro.storage.archive import ArchiveReader, ArchiveWriter
+from repro.storage.format import (
+    FOOTER,
+    ArchiveFormatError,
+    align_up,
+    crc32_view,
+)
+from repro.storage.index_io import load_mapped_index
+
+
+def make_pairs(count: int, seed: int = 11, wide: bool = False):
+    """Deterministic published pairs: nested lengths, ROV/org variety,
+    optionally IPv6 groups beyond /64 (the wide-key segment)."""
+    rng = random.Random(seed)
+    rov_states = (None, "both-valid", "v4-only", "invalid")
+    pairs = {}
+    while len(pairs) < count:
+        v4_len = rng.choice((16, 20, 24, 28))
+        v6_len = rng.choice((96, 112, 128) if wide else (32, 40, 48, 64))
+        v4 = Prefix.from_address(4, rng.getrandbits(32) | (1 << 31), v4_len)
+        v6 = Prefix.from_address(
+            6, (0x2001 << 112) | rng.getrandbits(100), v6_len
+        )
+        pairs[(v4, v6)] = PublishedPair(
+            v4_prefix=v4,
+            v6_prefix=v6,
+            jaccard=rng.random(),
+            shared_domains=rng.randrange(1, 50),
+            v4_domains=rng.randrange(1, 60),
+            v6_domains=rng.randrange(1, 60),
+            same_org=rng.choice((None, True, False)),
+            rov_status=rng.choice(rov_states),
+        )
+    return list(pairs.values())
+
+
+def queries_for(index, count, seed=3):
+    """Hit-biased address/prefix query strings for both families."""
+    rng = random.Random(seed)
+    stored = [
+        prefix
+        for pair in index.pairs
+        for prefix in (pair.v4_prefix, pair.v6_prefix)
+    ]
+    queries = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.6:
+            base = rng.choice(stored)
+            value = base.value | rng.getrandbits(base.host_bits)
+            queries.append(format_address(base.version, value))
+        elif roll < 0.8:
+            base = rng.choice(stored)
+            queries.append(str(base))
+        else:
+            version = rng.choice((4, 6))
+            queries.append(
+                format_address(version, rng.getrandbits(32 if version == 4 else 128))
+            )
+    return queries
+
+
+def assert_same_answers(mapped, memory, queries):
+    """Every query shape must agree between the two indexes."""
+    for query in queries:
+        got, want = mapped.lookup(query), memory.lookup(query)
+        assert (got is None) == (want is None), query
+        if got is not None:
+            assert got.matched == want.matched, query
+            assert got.pairs == want.pairs, query
+        got_cover = mapped.covering(query)
+        want_cover = memory.covering(query)
+        assert [r.matched for r in got_cover] == [r.matched for r in want_cover]
+        assert [r.pairs for r in got_cover] == [r.pairs for r in want_cover]
+    assert [r and r.matched for r in mapped.batch(queries)] == [
+        r and r.matched for r in memory.batch(queries)
+    ]
+
+
+class TestMappedIndexRoundTrip:
+    @pytest.mark.parametrize("wide", (False, True), ids=("le64", "wide"))
+    def test_bit_identical_answers(self, tmp_path, wide):
+        pairs = make_pairs(120, wide=wide)
+        date = datetime.date(2024, 9, 11)
+        path = tmp_path / "pairs.sparch"
+        assert publish.write_archive(pairs, path, date) == len(pairs)
+
+        memory = SiblingLookupIndex.from_pairs(pairs, date)
+        mapped = load_mapped_index(path)
+        try:
+            assert mapped.snapshot == memory.snapshot
+            assert len(mapped) == len(memory)
+            assert tuple(mapped.pairs) == memory.pairs
+            assert mapped.stats() == memory.stats()
+            queries = queries_for(memory, 400)
+            assert_same_answers(mapped, memory, queries)
+            # The scan oracle on a sample (it is O(pairs) per query).
+            for query in queries[:40]:
+                got = mapped.lookup(query)
+                want = scan_lookup(pairs, query)
+                assert (got is None) == (want is None)
+                if got is not None:
+                    assert got.matched == want.matched
+        finally:
+            mapped.close()
+
+    def test_lookup_address_fast_path(self, tmp_path):
+        pairs = make_pairs(40)
+        path = tmp_path / "pairs.sparch"
+        publish.write_archive(pairs, path, datetime.date(2024, 9, 11))
+        memory = SiblingLookupIndex.from_pairs(pairs, datetime.date(2024, 9, 11))
+        mapped = load_mapped_index(path)
+        try:
+            rng = random.Random(5)
+            for _ in range(200):
+                pair = rng.choice(pairs)
+                for prefix in (pair.v4_prefix, pair.v6_prefix):
+                    value = prefix.value | rng.getrandbits(prefix.host_bits)
+                    got = mapped.lookup_address(prefix.version, value)
+                    want = memory.lookup_address(prefix.version, value)
+                    assert got is not None and want is not None
+                    assert got.matched == want.matched
+                    assert got.pairs == want.pairs
+        finally:
+            mapped.close()
+
+    def test_newest_generation_wins(self, tmp_path):
+        path = tmp_path / "multi.sparch"
+        first = make_pairs(30, seed=1)
+        second = make_pairs(45, seed=2)
+        publish.write_archive(first, path, datetime.date(2024, 9, 10))
+        publish.write_archive(second, path, datetime.date(2024, 9, 11))
+        mapped = load_mapped_index(path)
+        try:
+            assert mapped.snapshot == datetime.date(2024, 9, 11)
+            assert tuple(mapped.pairs) == SiblingLookupIndex.from_pairs(
+                second, datetime.date(2024, 9, 11)
+            ).pairs
+        finally:
+            mapped.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_property_mapped_equals_memory(self, data, tmp_path_factory):
+        count = data.draw(st.integers(1, 40))
+        seed = data.draw(st.integers(0, 2**16))
+        wide = data.draw(st.booleans())
+        pairs = make_pairs(count, seed=seed, wide=wide)
+        path = tmp_path_factory.mktemp("prop") / "p.sparch"
+        publish.write_archive(pairs, path, datetime.date(2024, 9, 11))
+        memory = SiblingLookupIndex.from_pairs(pairs, datetime.date(2024, 9, 11))
+        mapped = load_mapped_index(path)
+        try:
+            assert_same_answers(
+                mapped, memory, queries_for(memory, 60, seed=seed)
+            )
+        finally:
+            mapped.close()
+
+
+class TestArchivedSeries:
+    DATES = [REFERENCE_DATE - datetime.timedelta(days=d) for d in (3, 2, 1, 0)]
+
+    @pytest.mark.parametrize("engine_name", ("reference", "columnar", "sharded"))
+    def test_series_round_trip_all_engines(
+        self, tiny_universe, tmp_path, engine_name
+    ):
+        """Archive write → reload reproduces identical per-date output."""
+        incremental = engine_name != "reference"
+        path = tmp_path / f"{engine_name}.sparch"
+        fresh = {
+            "reference": get_substrate("reference"),
+            "columnar": ColumnarSubstrate(),
+            "sharded": ShardedSubstrate(),
+        }
+        plain = detect_series(
+            tiny_universe, self.DATES, substrate=fresh[engine_name],
+            incremental=incremental,
+        )
+        first = detect_series(
+            tiny_universe, self.DATES, substrate=engine_name,
+            incremental=incremental, archive=path,
+        )
+        # Second run answers entirely from the archive.
+        replay = detect_series(
+            tiny_universe, self.DATES, substrate=engine_name,
+            incremental=incremental, archive=path,
+        )
+        for (date, want), (_, got1), (_, got2) in zip(plain, first, replay):
+            assert as_mapping(want) == as_mapping(got1), (engine_name, date)
+            assert as_mapping(want) == as_mapping(got2), (engine_name, date)
+
+    def test_resume_appends_delta_generation(self, tiny_universe, tmp_path, monkeypatch):
+        """Extending an archived series resumes from the archived state
+        (one index rebuild, zero re-detections) and stays bit-identical."""
+        import repro.analysis.pipeline as pipeline
+
+        path = tmp_path / "resume.sparch"
+        detect_series(
+            tiny_universe, self.DATES[:2], substrate=ColumnarSubstrate(),
+            incremental=True, archive=path,
+        )
+
+        builds = []
+        real_build_index = pipeline.build_index
+        monkeypatch.setattr(
+            pipeline, "build_index",
+            lambda *a, **k: builds.append(1) or real_build_index(*a, **k),
+        )
+        resumed = detect_series(
+            tiny_universe, self.DATES, substrate=ColumnarSubstrate(),
+            incremental=True, archive=path,
+        )
+        # Exactly one build: the resume-date index; archived dates load,
+        # later dates ride deltas on the restored state.
+        assert builds == [1]
+
+        plain = detect_series(
+            tiny_universe, self.DATES, substrate=ColumnarSubstrate(),
+            incremental=True,
+        )
+        for (date, want), (_, got) in zip(plain, resumed):
+            assert as_mapping(want) == as_mapping(got), date
+
+        with ArchiveReader.open(path) as reader:
+            dates = [g.date for g in reader.generations]
+            assert dates == [d.isoformat() for d in self.DATES]
+            # state travels with the newest generation only
+            assert "state" in reader.generations[-1].meta
+            assert reader.verify() > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(tables=churn_series())
+    def test_property_archived_resume_equals_full(self, tables, tmp_path_factory):
+        """Randomized churn: archive first half, resume the rest —
+        per-date output equals full archiveless recomputation."""
+        dates = [
+            BASE_DATE + datetime.timedelta(days=i) for i in range(len(tables))
+        ]
+        shim = SeriesShim(
+            [snapshot_from_table(date, table) for date, table in zip(dates, tables)]
+        )
+        path = tmp_path_factory.mktemp("churn") / "series.sparch"
+        split = max(1, len(dates) // 2)
+        detect_series(
+            shim, dates[:split], substrate=ColumnarSubstrate(),
+            incremental=True, archive=path,
+        )
+        resumed = detect_series(
+            shim, dates, substrate=ColumnarSubstrate(),
+            incremental=True, archive=path,
+        )
+        full = detect_series(
+            shim, dates, substrate=ColumnarSubstrate(), incremental=False
+        )
+        assert [d for d, _ in resumed] == dates
+        for (date, want), (_, got) in zip(full, resumed):
+            assert as_mapping(want) == as_mapping(got), date
+
+    def test_tuned_lists_are_not_replayed(self, tiny_universe, tmp_path):
+        """A generation archived with raw=False never short-circuits
+        detection: the series recomputes instead of replaying it."""
+        from repro.core.detection import detect_with_index
+        from repro.core.siblings import SiblingSet
+
+        date = self.DATES[0]
+        siblings, index = detect_with_index(
+            tiny_universe.snapshot_at(date), tiny_universe.annotator_at(date)
+        )
+        truncated = SiblingSet(date, list(siblings)[:3])
+        path = tmp_path / "tuned.sparch"
+        archive_detection(
+            path, tiny_universe, date, truncated, index=index, raw=False
+        )
+        results = detect_series(
+            tiny_universe, [date], substrate=ColumnarSubstrate(), archive=path
+        )
+        assert as_mapping(results[0][1]) == as_mapping(siblings)
+
+    def test_annotator_change_invalidates_archive(self, tmp_path):
+        """An archived date whose routing changed is recomputed."""
+        table = {
+            "a.example": ({(0, 1)}, {(0, 1)}),
+            "b.example": ({(1, 2)}, {(1, 2)}),
+        }
+        dates = [BASE_DATE, BASE_DATE + datetime.timedelta(days=1)]
+        snapshots = [snapshot_from_table(date, table) for date in dates]
+        path = tmp_path / "rib.sparch"
+        shim = SeriesShim(snapshots)
+        detect_series(shim, dates, substrate=ColumnarSubstrate(),
+                      incremental=True, archive=path)
+
+        from test_incremental_pipeline import make_annotator
+
+        changed = SeriesShim(
+            snapshots,
+            annotator_for_date=lambda date: make_annotator(
+                Prefix.parse("198.51.100.0/24")
+            ),
+        )
+        recomputed = detect_series(
+            changed, dates, substrate=ColumnarSubstrate(),
+            incremental=True, archive=path,
+        )
+        plain = detect_series(
+            changed, dates, substrate=ColumnarSubstrate(), incremental=True
+        )
+        for (date, want), (_, got) in zip(plain, recomputed):
+            assert as_mapping(want) == as_mapping(got), date
+
+        # The archive must *heal*: the recomputed generations are
+        # appended (newest wins on read), so a further run replays them
+        # from the archive instead of re-detecting forever.
+        from repro.storage.substrate_io import annotator_digest
+
+        new_digest = annotator_digest(changed.annotator_at(dates[0]))
+        with ArchiveReader.open(path) as reader:
+            newest = reader.generations_by_date("siblings")
+            for date in dates:
+                assert (
+                    newest[date.isoformat()].annotator_signature == new_digest
+                ), f"stale generation still newest for {date}"
+        replayed = detect_series(
+            changed, dates, substrate=ColumnarSubstrate(),
+            incremental=True, archive=path,
+        )
+        for (date, want), (_, got) in zip(plain, replayed):
+            assert as_mapping(want) == as_mapping(got), date
+
+
+class TestServiceIntegration:
+    def test_from_archive_equals_from_file(self, tmp_path):
+        pairs = make_pairs(60)
+        date = datetime.date(2024, 9, 11)
+        sparch = tmp_path / "s.sparch"
+        sibidx = tmp_path / "s.sibidx"
+        publish.write_archive(pairs, sparch, date)
+        index = SiblingLookupIndex.from_pairs(pairs, date)
+        save_index(index, sibidx)
+
+        archived = SiblingQueryService.from_archive(sparch)
+        loaded = SiblingQueryService.from_file(sibidx)
+        for query in queries_for(index, 150):
+            assert archived.lookup(query) == loaded.lookup(query)
+        archived.index.close()
+
+    def test_swap_from_archive_remaps(self, tmp_path):
+        path = tmp_path / "s.sparch"
+        publish.write_archive(make_pairs(10, seed=1), path, datetime.date(2024, 9, 10))
+        service = SiblingQueryService.from_archive(path)
+        generation = service.generation
+        publish.write_archive(make_pairs(20, seed=2), path, datetime.date(2024, 9, 11))
+        previous = service.swap_from_archive(path)
+        assert service.generation == generation + 1
+        assert service.index.snapshot == datetime.date(2024, 9, 11)
+        assert previous.snapshot == datetime.date(2024, 9, 10)
+        previous.close()
+        service.index.close()
+
+
+class TestCodecMmapPath:
+    def test_load_index_equals_load_bytes(self, tmp_path):
+        index = SiblingLookupIndex.from_pairs(
+            make_pairs(80), datetime.date(2024, 9, 11)
+        )
+        path = tmp_path / "x.sibidx"
+        save_index(index, path)
+        via_mmap = load_index(path)
+        via_bytes = load_bytes(path.read_bytes())
+        assert via_mmap.pairs == via_bytes.pairs == index.pairs
+        assert via_mmap.snapshot == index.snapshot
+
+
+class TestFormatRobustness:
+    def _archive(self, tmp_path):
+        path = tmp_path / "r.sparch"
+        publish.write_archive(make_pairs(25), path, datetime.date(2024, 9, 11))
+        return path
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = self._archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"JUNK"
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArchiveFormatError, match="magic"):
+            ArchiveReader.open(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = self._archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[8:10] = (99).to_bytes(2, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArchiveFormatError, match="version"):
+            ArchiveReader.open(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        path = self._archive(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 7])
+        with pytest.raises(ArchiveFormatError):
+            ArchiveReader.open(path)
+
+    def test_manifest_corruption_rejected(self, tmp_path):
+        path = self._archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        # The manifest sits between its footer-recorded offset and the
+        # footer itself; flip one byte inside it.
+        offset = int.from_bytes(data[-FOOTER.size + 8:-FOOTER.size + 16], "little")
+        data[offset + 4] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArchiveFormatError, match="manifest"):
+            ArchiveReader.open(path)
+
+    def test_segment_corruption_rejected_on_access(self, tmp_path):
+        path = self._archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        # First segment page: flip a byte in the records payload.
+        data[align_up(1) + 8] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with ArchiveReader.open(path) as reader:  # attach succeeds (lazy)
+            with pytest.raises(ArchiveFormatError, match="checksum"):
+                reader.verify()
+
+    def test_aborted_append_keeps_archive_readable(self, tmp_path):
+        path = self._archive(tmp_path)
+        before = path.read_bytes()
+        writer = ArchiveWriter.open(path)
+        writer.append_generation("2024-09-12", {"x.blob": b"zzz"}, {"demo": {}})
+        writer.abort()
+        with ArchiveReader.open(path) as reader:
+            assert [g.date for g in reader.generations] == ["2024-09-11"]
+            assert reader.verify() > 0
+        assert path.read_bytes() == before
+
+    def test_empty_and_garbage_files_rejected(self, tmp_path):
+        empty = tmp_path / "empty.sparch"
+        empty.write_bytes(b"")
+        with pytest.raises(ArchiveFormatError):
+            ArchiveReader.open(empty)
+        garbage = tmp_path / "garbage.sparch"
+        garbage.write_bytes(b"\x00" * 100)
+        with pytest.raises(ArchiveFormatError):
+            ArchiveReader.open(garbage)
+
+    def test_footer_crc_guards_torn_tail(self, tmp_path):
+        """A tail appended without a committed footer is detected."""
+        path = self._archive(tmp_path)
+        with open(path, "ab") as stream:
+            stream.write(b"\x00" * 64)
+        with pytest.raises(ArchiveFormatError):
+            ArchiveReader.open(path)
+
+    def test_crc32_view_is_plain_crc(self):
+        assert crc32_view(memoryview(b"abc")) == crc32_view(b"abc")
