@@ -1,0 +1,498 @@
+"""Client-side open-loop load generator for the serving tier.
+
+Deterministic, dependency-free (stdlib only, so it runs anywhere a
+client would): a seeded schedule of requests — arrival offsets drawn
+from a Poisson process at a configured rate, request kinds drawn from
+a configurable point/batch/snapshot mix, query targets drawn from a
+Zipf-skewed popularity ranking — is generated up front and then
+*replayed against the wall clock* by a pool of keep-alive HTTP
+connections.  Open loop means a slow server does not slow the request
+stream down: latency is measured from each request's **scheduled**
+start, so queueing delay is charged to the server (no coordinated
+omission).
+
+The schedule layer is pure and deterministic (same seed → byte
+identical stream; property-tested by ``tests/test_loadgen.py``); the
+execution layer reports per-request records that
+``benchmarks/bench_serving_fleet.py`` folds into p50/p99/p999 and
+q/s-per-core, and that ``tests/test_serving_fleet.py`` uses to prove
+generation consistency under swap storms.
+
+Standalone use::
+
+    python benchmarks/loadgen.py http://127.0.0.1:8080 \
+        --requests 5000 --rate 2000 --mix point=0.8,batch=0.15,snapshot=0.05 \
+        --targets targets.txt --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import random
+import sys
+import threading
+import time
+from bisect import bisect_right
+from http.client import HTTPConnection, HTTPException
+from typing import Iterable, Sequence
+from urllib.parse import quote, urlparse
+
+#: Ratio below which a mix component is treated as absent.
+_EPSILON = 1e-12
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficMix:
+    """One traffic shape: request-kind ratios and per-kind knobs.
+
+    Ratios are normalized at schedule time, so ``point=8, batch=2`` is
+    the same mix as ``point=0.8, batch=0.2``.  ``zipf_s`` is the Zipf
+    exponent of target popularity (0 = uniform; >= 1 = heavily skewed
+    toward the first-ranked targets, the production shape).
+    """
+
+    name: str
+    point: float = 1.0
+    batch: float = 0.0
+    snapshot: float = 0.0
+    batch_size: int = 16
+    zipf_s: float = 1.1
+
+    def ratios(self) -> tuple[float, float, float]:
+        total = self.point + self.batch + self.snapshot
+        if total <= 0:
+            raise ValueError(f"mix {self.name!r} has no positive ratio")
+        return (self.point / total, self.batch / total, self.snapshot / total)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledRequest:
+    """One request in the open-loop schedule.
+
+    ``offset`` is seconds after the run's epoch at which the request
+    is *due*; ``queries`` holds 1 query for a point, ``batch_size``
+    for a batch, none for a snapshot probe.
+    """
+
+    offset: float
+    kind: str  # "point" | "batch" | "snapshot"
+    queries: tuple[str, ...]
+
+
+def zipf_weights(count: int, s: float) -> list[float]:
+    """Normalized Zipf(s) popularity weights for *count* ranks.
+
+    ``weights[k] ∝ 1 / (k+1)**s``; sums to 1.0 (to float precision).
+    """
+    if count < 1:
+        raise ValueError("need at least one target")
+    raw = [1.0 / (rank + 1) ** s for rank in range(count)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def generate_schedule(
+    targets: Sequence[str],
+    count: int,
+    rate: float,
+    mix: TrafficMix,
+    seed: int,
+) -> list[ScheduledRequest]:
+    """A deterministic open-loop schedule of *count* requests.
+
+    Arrival offsets are a Poisson process at *rate* requests/second
+    (exponential inter-arrivals); kinds follow the mix ratios; every
+    query is drawn from *targets* with Zipf(``mix.zipf_s``) popularity
+    (targets earlier in the sequence are more popular).  Everything is
+    driven by one ``random.Random(seed)``, so the same arguments
+    produce a byte-identical stream (see :func:`encode_schedule`).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    point_ratio, batch_ratio, _ = mix.ratios()
+    cut_point = point_ratio
+    cut_batch = point_ratio + batch_ratio
+    rng = random.Random(seed)
+    cumulative: list[float] = []
+    running = 0.0
+    for weight in zipf_weights(len(targets), mix.zipf_s):
+        running += weight
+        cumulative.append(running)
+
+    def pick_target() -> str:
+        position = bisect_right(cumulative, rng.random())
+        return targets[min(position, len(targets) - 1)]
+
+    schedule: list[ScheduledRequest] = []
+    clock = 0.0
+    for _ in range(count):
+        clock += rng.expovariate(rate)
+        roll = rng.random()
+        if roll < cut_point:
+            kind, queries = "point", (pick_target(),)
+        elif roll < cut_batch:
+            kind = "batch"
+            queries = tuple(pick_target() for _ in range(mix.batch_size))
+        else:
+            kind, queries = "snapshot", ()
+        schedule.append(ScheduledRequest(clock, kind, queries))
+    return schedule
+
+
+def encode_schedule(schedule: Iterable[ScheduledRequest]) -> bytes:
+    """Canonical byte serialization of a schedule.
+
+    One JSON array per line, compact separators, full float ``repr``
+    of the offset — two schedules are equal iff their encodings are
+    byte-identical, which is what the determinism property test
+    asserts.
+    """
+    lines = [
+        json.dumps(
+            [request.offset, request.kind, list(request.queries)],
+            separators=(",", ":"),
+        )
+        for request in schedule
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+
+# -- latency statistics -------------------------------------------------------
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-th percentile of *samples*, linear interpolation.
+
+    Matches ``numpy.percentile(..., method="linear")`` (and
+    ``statistics.quantiles(..., method="inclusive")`` at interior cut
+    points): position ``(n-1) * q/100`` into the sorted samples,
+    interpolating between the straddling order statistics.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(samples)
+    position = (len(ordered) - 1) * (q / 100.0)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def summarize(result: "LoadResult") -> dict:
+    """p50/p99/p999 open-loop latency + throughput for one run."""
+    latencies = [r.latency for r in result.records if r.ok]
+    okay = len(latencies)
+    summary = {
+        "requests": len(result.records),
+        "ok": okay,
+        "errors": len(result.records) - okay,
+        "elapsed": result.elapsed,
+        "qps": okay / result.elapsed if result.elapsed > 0 else 0.0,
+    }
+    if latencies:
+        summary["p50"] = percentile(latencies, 50)
+        summary["p99"] = percentile(latencies, 99)
+        summary["p999"] = percentile(latencies, 99.9)
+    return summary
+
+
+# -- execution ----------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class RequestRecord:
+    """The outcome of one scheduled request.
+
+    ``latency`` is open-loop (completion minus *scheduled* start);
+    ``done_at`` is the completion time on ``time.monotonic()``'s
+    system-wide clock, so supervisor-side commit timestamps are
+    directly comparable.  ``snapshots`` holds the distinct snapshot
+    dates carried by the answer rows (populated when the runner parses
+    bodies): one value for a point hit, and — if the service's
+    no-mixed-generation guarantee holds — never more than one for a
+    batch.
+    """
+
+    offset: float
+    kind: str
+    ok: bool
+    latency: float
+    done_at: float
+    snapshots: tuple[str, ...] = ()
+
+
+@dataclasses.dataclass
+class LoadResult:
+    """All request records of one run plus the measured wall time."""
+
+    records: list[RequestRecord]
+    elapsed: float
+
+    def errors(self) -> list[RequestRecord]:
+        return [record for record in self.records if not record.ok]
+
+
+def _answer_snapshots(kind: str, body: bytes) -> tuple[str, ...]:
+    """The distinct snapshot dates carried by one response body."""
+    payload = json.loads(body)
+    if kind == "point":
+        rows = [payload]
+    elif kind == "batch":
+        rows = payload.get("results", [])
+    else:  # snapshot probe: generation metadata, not an answer
+        index = payload.get("index") or {}
+        snapshot = index.get("snapshot")
+        return (snapshot,) if snapshot else ()
+    return tuple(
+        sorted({row["snapshot"] for row in rows if "snapshot" in row})
+    )
+
+
+class _Runner(threading.Thread):
+    """One client connection replaying its slice of the schedule."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        schedule: Sequence[ScheduledRequest],
+        epoch: float,
+        parse: bool,
+        stop: "threading.Event | None",
+    ):
+        super().__init__(name=f"loadgen-{id(self):x}")
+        self.host, self.port = host, port
+        self.schedule = schedule
+        self.epoch = epoch
+        self.parse = parse
+        self.stop_event = stop
+        self.records: list[RequestRecord] = []
+        self._connection: HTTPConnection | None = None
+
+    def _connect(self) -> HTTPConnection:
+        if self._connection is None:
+            self._connection = HTTPConnection(
+                self.host, self.port, timeout=10
+            )
+        return self._connection
+
+    def _reset(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _issue(self, request: ScheduledRequest) -> bytes:
+        connection = self._connect()
+        if request.kind == "point":
+            connection.request(
+                "GET", "/v1/lookup?ip=" + quote(request.queries[0])
+            )
+        elif request.kind == "batch":
+            connection.request(
+                "POST",
+                "/v1/batch",
+                body=json.dumps({"queries": list(request.queries)}),
+                headers={"Content-Type": "application/json"},
+            )
+        else:
+            connection.request("GET", "/v1/snapshot")
+        response = connection.getresponse()
+        return response.read()
+
+    def run(self) -> None:
+        for request in self.schedule:
+            if self.stop_event is not None and self.stop_event.is_set():
+                break
+            due = self.epoch + request.offset
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            body = None
+            # One transparent reconnect: a worker restart legitimately
+            # drops keep-alive connections; only a failure on a fresh
+            # connection counts as a failed request.
+            for attempt in (0, 1):
+                try:
+                    body = self._issue(request)
+                    break
+                except (OSError, HTTPException):
+                    self._reset()
+                    if attempt:
+                        break
+            done = time.monotonic()
+            snapshots: tuple[str, ...] = ()
+            ok = body is not None
+            if ok and self.parse:
+                try:
+                    snapshots = _answer_snapshots(request.kind, body)
+                except (ValueError, KeyError, TypeError):
+                    ok = False
+            self.records.append(
+                RequestRecord(
+                    request.offset, request.kind, ok, done - due, done,
+                    snapshots,
+                )
+            )
+        self._reset()
+
+
+def run_load(
+    url: str,
+    schedule: Sequence[ScheduledRequest],
+    connections: int = 4,
+    parse: bool = False,
+    stop: "threading.Event | None" = None,
+) -> LoadResult:
+    """Replay *schedule* against *url* over keep-alive connections.
+
+    The schedule is dealt round-robin across *connections* client
+    threads (each holding one persistent HTTP connection), preserving
+    per-thread offset order.  With ``parse=True`` every response body
+    is decoded and its snapshot dates recorded — the stress tests'
+    generation-consistency probe; leave it off when measuring peak
+    client throughput.  *stop* aborts the remaining schedule early.
+    """
+    parsed = urlparse(url)
+    if parsed.hostname is None or parsed.port is None:
+        raise ValueError(f"need an explicit host:port URL, got {url!r}")
+    epoch = time.monotonic()
+    runners = [
+        _Runner(
+            parsed.hostname,
+            parsed.port,
+            schedule[slot::connections],
+            epoch,
+            parse,
+            stop,
+        )
+        for slot in range(max(1, connections))
+    ]
+    for runner in runners:
+        runner.start()
+    records: list[RequestRecord] = []
+    for runner in runners:
+        runner.join()
+        records.extend(runner.records)
+    elapsed = time.monotonic() - epoch
+    records.sort(key=lambda record: record.offset)
+    return LoadResult(records, elapsed)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def parse_mix(text: str, name: str = "cli") -> TrafficMix:
+    """``point=0.8,batch=0.15,snapshot=0.05`` → :class:`TrafficMix`."""
+    ratios = {"point": 0.0, "batch": 0.0, "snapshot": 0.0}
+    for part in text.split(","):
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key not in ratios or not value:
+            raise ValueError(
+                f"bad mix component {part!r} (want kind=ratio with kind "
+                f"in point/batch/snapshot)"
+            )
+        ratios[key] = float(value)
+    if sum(ratios.values()) <= _EPSILON:
+        raise ValueError(f"mix {text!r} has no positive ratio")
+    return TrafficMix(name, **ratios)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loadgen",
+        description="Open-loop load generator for the sibling serving tier",
+    )
+    parser.add_argument("url", help="service base URL, e.g. http://host:port")
+    parser.add_argument(
+        "--requests", type=int, default=5000, help="schedule length"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=2000.0, help="offered load, req/s"
+    )
+    parser.add_argument(
+        "--mix",
+        default="point=1.0",
+        help="traffic mix, e.g. point=0.8,batch=0.15,snapshot=0.05",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=16, help="queries per batch request"
+    )
+    parser.add_argument(
+        "--zipf", type=float, default=1.1, help="target popularity skew s"
+    )
+    parser.add_argument(
+        "--connections", type=int, default=4, help="client connections"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="schedule seed")
+    parser.add_argument(
+        "--targets",
+        help="file of query targets, one per line (default: RFC 5737/3849 "
+        "documentation addresses)",
+    )
+    return parser
+
+
+#: Fallback query targets: documentation addresses, both families.
+DEFAULT_TARGETS = (
+    "192.0.2.7",
+    "192.0.2.200",
+    "198.51.100.1",
+    "203.0.113.5",
+    "2001:db8::1",
+    "2001:db8:dead::beef",
+)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        mix = dataclasses.replace(
+            parse_mix(args.mix),
+            batch_size=args.batch_size,
+            zipf_s=args.zipf,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.targets:
+        targets = [
+            line.strip()
+            for line in open(args.targets)
+            if line.strip()
+        ]
+        if not targets:
+            print(f"error: no targets in {args.targets!r}", file=sys.stderr)
+            return 2
+    else:
+        targets = list(DEFAULT_TARGETS)
+    schedule = generate_schedule(
+        targets, args.requests, args.rate, mix, args.seed
+    )
+    result = run_load(args.url, schedule, connections=args.connections)
+    summary = summarize(result)
+    print(
+        f"{summary['ok']}/{summary['requests']} ok, "
+        f"{summary['errors']} errors, {summary['elapsed']:.2f}s, "
+        f"{summary['qps']:,.0f} q/s"
+    )
+    if "p50" in summary:
+        print(
+            f"open-loop latency p50={summary['p50'] * 1e3:.2f}ms "
+            f"p99={summary['p99'] * 1e3:.2f}ms "
+            f"p999={summary['p999'] * 1e3:.2f}ms"
+        )
+    return 0 if summary["errors"] == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,8 @@ Subcommands:
 * ``lookup``     — longest-prefix-match query against an export (binary
   index files are memory-loaded; CSV exports are streamed).
 * ``serve``      — stand up the JSON HTTP lookup endpoint over an
-  index/CSV file, or ``--archive`` for a zero-copy ``mmap`` attach.
+  index/CSV file, or ``--archive`` for a zero-copy ``mmap`` attach;
+  ``--workers N`` scales it to a multi-process SO_REUSEPORT fleet.
 
 Exit codes: 0 success, 1 lookup miss, 2 usage/input error.
 """
@@ -152,6 +153,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serving worker processes; N > 1 runs the SO_REUSEPORT "
+        "fleet (binary index or --archive sources only), 1 serves "
+        "in-process",
+    )
     return parser
 
 
@@ -396,6 +406,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
 
     try:
         if args.archive:
@@ -403,6 +416,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         elif is_index_file(args.list_file):
             service = SiblingQueryService.from_file(args.list_file)
         else:
+            if args.workers > 1:
+                print(
+                    "error: --workers > 1 needs a reloadable source "
+                    "(binary index or --archive); compile the CSV with "
+                    "`repro detect --emit-index` first",
+                    file=sys.stderr,
+                )
+                return 2
             with open(args.list_file) as stream:
                 # Honor the export's own snapshot date when recorded.
                 date = publish.header_snapshot_date(stream.readline())
@@ -427,6 +448,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers > 1:
+        return _serve_fleet(args)
     try:
         serve_forever(service, args.host, args.port)
     except OSError as exc:
@@ -436,6 +459,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """The ``serve --workers N`` body: run a SO_REUSEPORT worker fleet.
+
+    The source file was already opened once by :func:`_cmd_serve` for
+    validation; here each worker re-attaches it independently.
+    """
+    import threading
+
+    from repro.serving.fleet import FleetError, ServiceSource, ServingFleet
+
+    source = (
+        ServiceSource.archive(args.archive)
+        if args.archive
+        else ServiceSource.index(args.list_file)
+    )
+    fleet = ServingFleet(
+        source,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        quiet=False,
+    )
+    try:
+        fleet.start()
+    except OSError as exc:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(
+            f"serving sibling lookups on http://{args.host}:{fleet.port}/v1/ "
+            f"with {args.workers} workers"
+        )
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down fleet")
+    finally:
+        fleet.stop()
     return 0
 
 

@@ -16,6 +16,10 @@ can *query at interactive rates*:
 * :mod:`repro.serving.http` — a stdlib ``http.server`` JSON endpoint
   (``/v1/lookup``, ``/v1/batch``, ``/v1/snapshot``) for demo-scale
   serving behind ``python -m repro serve``.
+* :mod:`repro.serving.fleet` — :class:`ServingFleet`, the
+  multi-process scale-out tier: N ``SO_REUSEPORT`` worker processes
+  mmap-attached to one ``.sparch`` archive, with supervised restarts
+  and fleet-wide atomic generation swaps (``repro serve --workers N``).
 
 See ``docs/SERVING.md`` for the index layout, the binary format, and
 the HTTP surface.
@@ -23,14 +27,18 @@ the HTTP surface.
 
 from repro.serving.cache import LruCache
 from repro.serving.codec import CodecError, load_index, save_index
+from repro.serving.fleet import FleetError, ServiceSource, ServingFleet
 from repro.serving.index import LookupResult, SiblingLookupIndex
 from repro.serving.service import QueryError, SiblingQueryService
 
 __all__ = [
     "CodecError",
+    "FleetError",
     "LookupResult",
     "LruCache",
     "QueryError",
+    "ServiceSource",
+    "ServingFleet",
     "SiblingLookupIndex",
     "SiblingQueryService",
     "load_index",

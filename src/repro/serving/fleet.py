@@ -1,0 +1,494 @@
+"""Multi-process serving fleet: N workers, one archive, one port.
+
+The single-process HTTP endpoint (:mod:`repro.serving.http`) tops out
+at one core.  This module scales it across processes without giving up
+the atomic-swap guarantees :class:`~repro.serving.service.SiblingQueryService`
+proves in-process:
+
+* **Workers** are separate OS processes that each bind their *own*
+  listening socket on the *same* ``(host, port)`` with ``SO_REUSEPORT``
+  — the kernel load-balances incoming connections across them — and
+  each :func:`mmap-attach <repro.storage.index_io.load_mapped_index>`
+  the *same* ``.sparch`` archive, so the page cache backing the index
+  is shared fleet-wide and per-worker memory stays flat.
+* **Swap propagation**: the supervisor broadcasts a ``swap`` command
+  over per-worker control pipes; each worker runs
+  :meth:`~repro.serving.service.SiblingQueryService.swap_from_archive`
+  (attach the newest committed generation, swap atomically, in-flight
+  queries finish on the generation they started with) and acks with
+  the generation it now serves.  Workers swap independently — two
+  workers may briefly serve different generations, but every answer
+  any worker returns is from a single *committed* generation, never a
+  mix (``tests/test_serving_fleet.py`` stress-proves this under swap
+  storms and worker kills).
+* **Supervision**: a monitor thread restarts dead workers (crash,
+  ``SIGKILL``); a restarted worker attaches the newest committed
+  generation at startup, so it rejoins current.  :meth:`ServingFleet.status`
+  aggregates per-worker liveness, generation, and counters.
+
+Entry points: ``repro serve --workers N`` (CLI) and
+:func:`repro.analysis.pipeline.serve_series_fleet` (detect a series
+into an archive, then serve it with a fleet).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import multiprocessing.connection
+import os
+import pathlib
+import socket
+import threading
+
+from repro.serving.http import SiblingHTTPServer
+from repro.serving.service import SiblingQueryService
+
+#: Seconds a freshly spawned worker gets to bind + attach + ack ready.
+READY_TIMEOUT = 30.0
+
+#: Seconds the supervisor waits for one command ack before giving up.
+COMMAND_TIMEOUT = 30.0
+
+#: Monitor thread liveness-poll period, seconds.
+POLL_INTERVAL = 0.05
+
+
+class FleetError(RuntimeError):
+    """Fleet-level failure: no SO_REUSEPORT, worker never came up, …"""
+
+
+def _require_reuseport() -> None:
+    if not hasattr(socket, "SO_REUSEPORT"):
+        raise FleetError(
+            "this platform lacks SO_REUSEPORT; the serving fleet needs it "
+            "to bind N workers on one port (use --workers 1)"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceSource:
+    """Where a worker builds (and refreshes) its query service from.
+
+    ``kind="archive"`` attaches the newest generation of a ``.sparch``
+    snapshot archive zero-copy; ``kind="index"`` memory-loads a
+    ``.sibidx`` binary index.  Both kinds support :meth:`refresh`
+    (re-read the file, swap atomically), which is what the
+    supervisor's ``swap`` broadcast triggers.
+    """
+
+    kind: str
+    path: str
+    cache_size: int = 4096
+
+    @classmethod
+    def archive(
+        cls, path: "str | pathlib.Path", cache_size: int = 4096
+    ) -> "ServiceSource":
+        return cls("archive", str(path), cache_size)
+
+    @classmethod
+    def index(
+        cls, path: "str | pathlib.Path", cache_size: int = 4096
+    ) -> "ServiceSource":
+        return cls("index", str(path), cache_size)
+
+    def build(self) -> SiblingQueryService:
+        """A fresh service over the newest committed state at `path`."""
+        if self.kind == "archive":
+            return SiblingQueryService.from_archive(
+                self.path, cache_size=self.cache_size
+            )
+        if self.kind == "index":
+            return SiblingQueryService.from_file(
+                self.path, cache_size=self.cache_size
+            )
+        raise FleetError(f"unknown service source kind {self.kind!r}")
+
+    def refresh(self, service: SiblingQueryService) -> None:
+        """Swap *service* to the newest committed state at `path`.
+
+        The previous index is dropped (not force-closed): in-flight
+        queries still hold a reference and finish on it; the mapping
+        is released when the last reference goes.
+        """
+        if self.kind == "archive":
+            service.swap_from_archive(self.path)
+        else:
+            from repro.serving.codec import load_index
+
+            service.swap(load_index(self.path))
+
+
+class _FleetHTTPServer(SiblingHTTPServer):
+    """The worker-side HTTP server: same handler, SO_REUSEPORT bind."""
+
+    allow_reuse_port = True  # honored by socketserver on 3.11+
+
+    def server_bind(self) -> None:
+        if hasattr(socket, "SO_REUSEPORT"):  # belt and braces pre-3.11
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
+def _serving_info(slot: int, service: SiblingQueryService) -> dict:
+    """One worker's status payload (ready/swapped/status replies)."""
+    index = service.index
+    info = service.snapshot_info()
+    return {
+        "slot": slot,
+        "pid": os.getpid(),
+        "generation": service.generation,
+        "snapshot": None if index is None else index.snapshot.isoformat(),
+        "swaps": info["swaps"],
+        "queries": info["queries"],
+    }
+
+
+def _worker_main(
+    slot: int,
+    source: ServiceSource,
+    host: str,
+    port: int,
+    conn,
+    inherited_fds: "tuple[int, ...]" = (),
+    quiet: bool = True,
+) -> None:
+    """Worker process body: bind, attach, serve, obey the control pipe.
+
+    Protocol (strict request/response after the initial ready):
+
+    * ``("ready", info)``   — sent once, after bind + attach succeed.
+    * ``("swap", seq)``     → refresh from the source, reply
+      ``("swapped", seq, info)``.
+    * ``("status", seq)``   → reply ``("status", seq, info)``.
+    * ``("stop", seq)``     → reply ``("stopping", seq, info)``, shut
+      the HTTP server down cleanly, exit 0.
+
+    EOF on the pipe (supervisor gone) is a stop.
+    """
+    # Fork-start children inherit the supervisor's other fds (the port
+    # guard, sibling pipes); close our copies so a dead supervisor
+    # reliably EOFs every worker and the guard dies with its owner.
+    for fd in inherited_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    service = source.build()
+    with _FleetHTTPServer((host, port), service, quiet=quiet) as server:
+        server.start()
+        conn.send(("ready", _serving_info(slot, service)))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            command, seq = message[0], message[1]
+            if command == "swap":
+                source.refresh(service)
+                conn.send(("swapped", seq, _serving_info(slot, service)))
+            elif command == "status":
+                conn.send(("status", seq, _serving_info(slot, service)))
+            elif command == "stop":
+                conn.send(("stopping", seq, _serving_info(slot, service)))
+                break
+            else:
+                conn.send(("error", seq, f"unknown command {command!r}"))
+
+
+class _WorkerSlot:
+    """Supervisor-side record of one worker: process + control pipe."""
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.info: dict = {}
+
+
+class ServingFleet:
+    """Supervisor for N SO_REUSEPORT serving workers over one source.
+
+    ``port=0`` picks a free ephemeral port once (a bound, never
+    listening, guard socket reserves it for the fleet's lifetime —
+    only listening sockets receive connections, so the guard steals
+    none) and every worker binds it with ``SO_REUSEPORT``.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        source: ServiceSource,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+        ready_timeout: float = READY_TIMEOUT,
+    ):
+        if workers < 1:
+            raise FleetError(f"workers must be >= 1, got {workers}")
+        _require_reuseport()
+        self.source = source
+        self.workers = workers
+        self.host = host
+        self._requested_port = port
+        self.quiet = quiet
+        self.ready_timeout = ready_timeout
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._is_fork = "fork" in methods
+        self._guard: socket.socket | None = None
+        self._slots: list[_WorkerSlot | None] = [None] * workers
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._restarts = 0
+        self._stopping = threading.Event()
+        self._monitor_thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ServingFleet":
+        """Reserve the port, spawn every worker, await readiness."""
+        if self._guard is not None:
+            raise FleetError("fleet already started")
+        guard = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            guard.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            guard.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            guard.bind((self.host, self._requested_port))
+        except OSError:
+            guard.close()
+            raise
+        self._guard = guard
+        try:
+            for slot in range(self.workers):
+                self._spawn(slot)
+        except Exception:
+            self.stop()
+            raise
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="fleet-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop workers (graceful, then force), the monitor, the guard."""
+        self._stopping.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=10)
+            self._monitor_thread = None
+        with self._lock:
+            for worker in self._slots:
+                if worker is None:
+                    continue
+                try:
+                    worker.conn.send(("stop", self._next_seq()))
+                except (OSError, BrokenPipeError):
+                    pass
+            for worker in self._slots:
+                if worker is None:
+                    continue
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=2)
+                if worker.process.is_alive():  # pragma: no cover - defensive
+                    worker.process.kill()
+                    worker.process.join(timeout=2)
+                worker.conn.close()
+            self._slots = [None] * self.workers
+        if self._guard is not None:
+            self._guard.close()
+            self._guard = None
+
+    def __enter__(self) -> "ServingFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- addressing -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The fleet's bound port (after :meth:`start`)."""
+        if self._guard is None:
+            raise FleetError("fleet not started")
+        return self._guard.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients hit, e.g. ``http://127.0.0.1:8080``."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- commands -------------------------------------------------------------
+
+    def broadcast_swap(self, timeout: float = COMMAND_TIMEOUT) -> list[dict]:
+        """Tell every live worker to swap to the newest generation.
+
+        Returns one ack info dict per worker that acked (a worker that
+        died mid-broadcast is skipped — its restart attaches the
+        newest generation anyway, so it cannot come back stale).
+        """
+        acks = []
+        with self._lock:
+            pending = []
+            for worker in self._slots:
+                if worker is None:
+                    continue
+                seq = self._next_seq()
+                try:
+                    worker.conn.send(("swap", seq))
+                except (OSError, BrokenPipeError):
+                    continue
+                pending.append((worker, seq))
+            for worker, seq in pending:
+                reply = self._recv_reply(worker, "swapped", seq, timeout)
+                if reply is not None:
+                    worker.info = reply
+                    acks.append(reply)
+        return acks
+
+    def status(self, timeout: float = COMMAND_TIMEOUT) -> dict:
+        """Fleet status: address, restart count, one row per worker.
+
+        A live worker is queried over its pipe (so ``generation`` /
+        ``snapshot`` / counters are current); a dead-and-not-yet
+        restarted slot reports ``alive: False`` with its last known
+        info.
+        """
+        rows = []
+        with self._lock:
+            for slot, worker in enumerate(self._slots):
+                if worker is None:
+                    rows.append({"slot": slot, "alive": False})
+                    continue
+                row = dict(worker.info)
+                row["slot"] = slot
+                row["alive"] = worker.process.is_alive()
+                if row["alive"]:
+                    seq = self._next_seq()
+                    try:
+                        worker.conn.send(("status", seq))
+                        reply = self._recv_reply(worker, "status", seq, timeout)
+                    except (OSError, BrokenPipeError):
+                        reply = None
+                    if reply is not None:
+                        worker.info = reply
+                        row.update(reply, alive=True)
+                    else:
+                        row["alive"] = worker.process.is_alive()
+                rows.append(row)
+            return {
+                "host": self.host,
+                "port": self.port if self._guard is not None else None,
+                "workers": rows,
+                "restarts": self._restarts,
+            }
+
+    # -- internals ------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _inherited_fds(self) -> tuple:
+        """Fds a fork-started child must close (guard + sibling pipes)."""
+        if not self._is_fork:
+            return ()
+        fds = []
+        if self._guard is not None:
+            fds.append(self._guard.fileno())
+        for worker in self._slots:
+            if worker is not None:
+                try:
+                    fds.append(worker.conn.fileno())
+                except OSError:
+                    pass
+        return tuple(fds)
+
+    def _spawn(self, slot: int) -> None:
+        """Start worker *slot* and wait for its ready ack."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                slot,
+                self.source,
+                self.host,
+                self.port,
+                child_conn,
+                self._inherited_fds(),
+                self.quiet,
+            ),
+            name=f"fleet-worker-{slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _WorkerSlot(process, parent_conn)
+        if not parent_conn.poll(self.ready_timeout):
+            process.terminate()
+            process.join(timeout=2)
+            parent_conn.close()
+            raise FleetError(
+                f"worker {slot} did not become ready within "
+                f"{self.ready_timeout}s"
+            )
+        try:
+            kind, info = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            process.join(timeout=2)
+            parent_conn.close()
+            raise FleetError(f"worker {slot} died during startup") from exc
+        if kind != "ready":  # pragma: no cover - defensive
+            raise FleetError(f"worker {slot} sent {kind!r} instead of ready")
+        worker.info = info
+        self._slots[slot] = worker
+
+    def _recv_reply(self, worker, expect: str, seq: int, timeout: float):
+        """The reply payload for (*expect*, *seq*), or None on loss.
+
+        Stale replies from an earlier timed-out command are drained and
+        dropped (the seq echo makes them identifiable).
+        """
+        while True:
+            try:
+                if not worker.conn.poll(timeout):
+                    return None
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return None
+            if len(message) >= 2 and message[1] == seq:
+                return message[2] if message[0] == expect else None
+            # else: stale reply from a previous command; keep draining.
+
+    def _monitor(self) -> None:
+        """Restart dead workers until the fleet stops."""
+        while not self._stopping.wait(POLL_INTERVAL):
+            with self._lock:
+                if self._stopping.is_set():
+                    return
+                for slot, worker in enumerate(self._slots):
+                    if worker is not None:
+                        if worker.process.is_alive():
+                            continue
+                        worker.process.join(timeout=0)
+                        worker.conn.close()
+                        self._slots[slot] = None
+                    try:
+                        self._spawn(slot)
+                    except FleetError:
+                        continue  # retry on the next tick
+                    self._restarts += 1
+
+    def __repr__(self) -> str:
+        state = "started" if self._guard is not None else "stopped"
+        return (
+            f"ServingFleet({self.source.kind}:{self.source.path}, "
+            f"workers={self.workers}, {state})"
+        )

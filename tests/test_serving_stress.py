@@ -18,11 +18,14 @@ field.
 """
 
 import datetime
+import json
 import threading
 import time
+from http.client import HTTPConnection
 
 from repro.nettypes.prefix import Prefix
 from repro.publish import PublishedPair
+from repro.serving.http import make_server
 from repro.serving.index import SiblingLookupIndex
 from repro.serving.service import SiblingQueryService
 
@@ -158,6 +161,70 @@ def test_cache_never_serves_stale_generation():
         assert {row["jaccard"] for row in answer["pairs"]} == {
             _jaccard_of(generation)
         }
+
+
+def test_http_batches_never_mix_generations_under_swap_storm():
+    """The same storm through the HTTP surface, keep-alive clients.
+
+    Uses the server's ``start()``/``close()`` lifecycle API (context
+    manager), so the storm tears down cleanly instead of leaking a
+    daemon serve thread.  Each client holds one persistent HTTP/1.1
+    connection — the swap-consistency guarantee must hold across
+    responses multiplexed onto reused connections too.
+    """
+    service = SiblingQueryService(_make_index(0), cache_size=64)
+    errors: list[str] = []
+    batches_done = [0] * 3
+    publisher_done = threading.Event()
+    body = json.dumps({"queries": QUERIES})
+
+    with make_server(service, port=0) as server:
+        server.start()
+        host, port = server.server_address[:2]
+
+        def client(slot: int) -> None:
+            connection = HTTPConnection(host, port, timeout=10)
+            try:
+                while True:
+                    last = publisher_done.is_set()
+                    connection.request(
+                        "POST",
+                        "/v1/batch",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    payload = json.loads(connection.getresponse().read())
+                    _check_batch(payload["results"], errors)
+                    batches_done[slot] += 1
+                    if last:
+                        # One batch against the settled last generation.
+                        break
+            finally:
+                connection.close()
+
+        def publisher() -> None:
+            for generation in range(1, GENERATIONS + 1):
+                service.swap(_make_index(generation))
+                time.sleep(0.002)
+            publisher_done.set()
+
+        clients = [
+            threading.Thread(target=client, args=(slot,)) for slot in range(3)
+        ]
+        for thread in clients:
+            thread.start()
+        publisher_thread = threading.Thread(target=publisher)
+        publisher_thread.start()
+        publisher_thread.join(timeout=60)
+        for thread in clients:
+            thread.join(timeout=60)
+        assert not publisher_thread.is_alive() and not any(
+            thread.is_alive() for thread in clients
+        ), "stress threads did not finish"
+
+    assert not errors, errors[:5]
+    assert all(done >= 1 for done in batches_done)
+    assert service.generation == GENERATIONS + 1
 
 
 def test_swap_returns_previous_and_bumps_generation_once():
