@@ -27,6 +27,8 @@ once, untimed, under CI's ``--benchmark-disable`` smoke job.
 
 import os
 import random
+import re
+import urllib.request
 
 import pytest
 
@@ -109,6 +111,17 @@ def fleet_archive(tmp_path_factory):
     return path, _hit_biased_targets(index)
 
 
+def _merged_codes(*summaries: dict) -> dict:
+    """Combine per-leg ``status_counts`` so every recorded line shows
+    the full status-code breakdown (a silently-erroring leg can't hide
+    behind healthy percentiles)."""
+    merged: dict = {}
+    for summary in summaries:
+        for code, count in summary["status_counts"].items():
+            merged[code] = merged.get(code, 0) + count
+    return merged
+
+
 def _flush_results() -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     header = [
@@ -123,7 +136,8 @@ def _flush_results() -> None:
         f"open-loop latency from the paced leg at {PACED_RATE:,.0f} req/s.",
         "",
         f"{'mix':<7} {'workers':>7} {'requests':>8} {'errors':>6} "
-        f"{'q/s':>9} {'q/s/core':>9} {'p50':>8} {'p99':>8} {'p999':>8}",
+        f"{'q/s':>9} {'q/s/core':>9} {'p50':>8} {'p99':>8} {'p999':>8} "
+        f"codes",
     ]
     (RESULTS_DIR / "serving_fleet.txt").write_text(
         "\n".join(header + _LINES) + "\n"
@@ -151,6 +165,28 @@ def test_fleet_load(mix, workers, fleet_archive):
             ),
             connections=CONNECTIONS,
         )
+        # Cross-check the fleet's own telemetry against the client-side
+        # ledger: the merged /v1/metrics lookup counter must equal the
+        # number of point requests the generator actually sent.  Only
+        # meaningful when nothing was retried (a transparent reconnect
+        # may double-count server-side) and nothing was restarted.
+        records = saturation.records + paced.records
+        point_sent = sum(record.kind == "point" for record in records)
+        anything_retried = any(record.retried for record in records)
+        restarts = fleet.status()["restarts"]
+        with urllib.request.urlopen(
+            fleet.control_url + "/v1/metrics", timeout=30
+        ) as response:
+            metrics_text = response.read().decode("utf-8")
+        match = re.search(
+            r"^repro_serve_lookups_total (\d+)$", metrics_text, re.M
+        )
+        assert match, "fleet /v1/metrics lacks repro_serve_lookups_total"
+        if not anything_retried and restarts == 0:
+            assert int(match.group(1)) == point_sent, (
+                f"fleet counted {match.group(1)} lookups but the "
+                f"generator sent {point_sent} point requests"
+            )
     throughput = summarize(saturation)
     latency = summarize(paced)
     assert throughput["errors"] == 0, saturation.errors()[:3]
@@ -159,11 +195,15 @@ def test_fleet_load(mix, workers, fleet_archive):
     qps = throughput["qps"]
     _QPS[(mix.name, workers)] = qps
     per_core = qps / min(workers, os.cpu_count() or 1)
+    codes = " ".join(
+        f"{code}:{count}"
+        for code, count in sorted(_merged_codes(throughput, latency).items())
+    )
     _LINES.append(
         f"{mix.name:<7} {workers:>7} {throughput['requests']:>8} "
         f"{throughput['errors']:>6} {qps:>9,.0f} {per_core:>9,.0f} "
         f"{latency['p50'] * 1e3:>6.2f}ms {latency['p99'] * 1e3:>6.2f}ms "
-        f"{latency['p999'] * 1e3:>6.2f}ms"
+        f"{latency['p999'] * 1e3:>6.2f}ms {codes}"
     )
     _flush_results()
 

@@ -188,13 +188,28 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 
 def summarize(result: "LoadResult") -> dict:
-    """p50/p99/p999 open-loop latency + throughput for one run."""
+    """p50/p99/p999 open-loop latency + throughput for one run.
+
+    ``status_counts`` breaks every request down by HTTP status code
+    (``"transport"`` for requests that never got a response), so an
+    erroring leg is visible next to its percentiles instead of hiding
+    behind them; ``retried`` counts requests that needed the runner's
+    transparent reconnect.
+    """
     latencies = [r.latency for r in result.records if r.ok]
     okay = len(latencies)
+    status_counts: dict[str, int] = {}
+    retried = 0
+    for record in result.records:
+        key = "transport" if record.status is None else str(record.status)
+        status_counts[key] = status_counts.get(key, 0) + 1
+        retried += record.retried
     summary = {
         "requests": len(result.records),
         "ok": okay,
         "errors": len(result.records) - okay,
+        "status_counts": dict(sorted(status_counts.items())),
+        "retried": retried,
         "elapsed": result.elapsed,
         "qps": okay / result.elapsed if result.elapsed > 0 else 0.0,
     }
@@ -219,7 +234,12 @@ class RequestRecord:
     dates carried by the answer rows (populated when the runner parses
     bodies): one value for a point hit, and — if the service's
     no-mixed-generation guarantee holds — never more than one for a
-    batch.
+    batch.  ``status`` is the HTTP status code (``None`` when no
+    response ever arrived — a transport failure); a non-200 status is
+    never ``ok``, so an erroring leg cannot masquerade as healthy
+    latency samples.  ``retried`` marks requests that went through the
+    runner's transparent reconnect (their server-side effect may be
+    double-counted).
     """
 
     offset: float
@@ -228,6 +248,8 @@ class RequestRecord:
     latency: float
     done_at: float
     snapshots: tuple[str, ...] = ()
+    status: "int | None" = None
+    retried: bool = False
 
 
 @dataclasses.dataclass
@@ -290,7 +312,7 @@ class _Runner(threading.Thread):
             self._connection.close()
             self._connection = None
 
-    def _issue(self, request: ScheduledRequest) -> bytes:
+    def _issue(self, request: ScheduledRequest) -> "tuple[int, bytes]":
         connection = self._connect()
         if request.kind == "point":
             connection.request(
@@ -306,7 +328,7 @@ class _Runner(threading.Thread):
         else:
             connection.request("GET", "/v1/snapshot")
         response = connection.getresponse()
-        return response.read()
+        return response.status, response.read()
 
     def run(self) -> None:
         for request in self.schedule:
@@ -316,21 +338,26 @@ class _Runner(threading.Thread):
             delay = due - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+            status = None
             body = None
+            retried = False
             # One transparent reconnect: a worker restart legitimately
             # drops keep-alive connections; only a failure on a fresh
             # connection counts as a failed request.
             for attempt in (0, 1):
                 try:
-                    body = self._issue(request)
+                    status, body = self._issue(request)
                     break
                 except (OSError, HTTPException):
                     self._reset()
+                    retried = True
                     if attempt:
                         break
             done = time.monotonic()
             snapshots: tuple[str, ...] = ()
-            ok = body is not None
+            # Only a 200 whose body arrived is a success; an error page
+            # with a fast turnaround must never feed the percentiles.
+            ok = status == 200 and body is not None
             if ok and self.parse:
                 try:
                     snapshots = _answer_snapshots(request.kind, body)
@@ -339,7 +366,7 @@ class _Runner(threading.Thread):
             self.records.append(
                 RequestRecord(
                     request.offset, request.kind, ok, done - due, done,
-                    snapshots,
+                    snapshots, status, retried,
                 )
             )
         self._reset()
@@ -480,10 +507,14 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     )
     result = run_load(args.url, schedule, connections=args.connections)
     summary = summarize(result)
+    codes = " ".join(
+        f"{code}:{count}" for code, count in summary["status_counts"].items()
+    )
     print(
         f"{summary['ok']}/{summary['requests']} ok, "
         f"{summary['errors']} errors, {summary['elapsed']:.2f}s, "
-        f"{summary['qps']:,.0f} q/s"
+        f"{summary['qps']:,.0f} q/s, codes[{codes}]"
+        + (f", {summary['retried']} retried" if summary["retried"] else "")
     )
     if "p50" in summary:
         print(

@@ -40,6 +40,7 @@ from repro.core.siblings import SiblingSet
 from repro.core.sptuner import SpTunerMS, TunerConfig
 from repro.core.substrate import ColumnarSubstrate, Substrate, get_substrate
 from repro.dates import add_months
+from repro.obs.tracing import trace
 from repro.synth.universe import Universe
 
 
@@ -147,7 +148,11 @@ def _detect_incremental(
         if index is None or signature != previous_signature:
             index = build_index(snapshot, annotator)
         else:
-            index.apply_delta(previous_snapshot.delta_to(snapshot), annotator)
+            with trace("series.delta_compute") as span:
+                delta = previous_snapshot.delta_to(snapshot)
+                span.add_items(delta.touched_domains)
+            with trace("series.delta_apply", items=delta.touched_domains):
+                index.apply_delta(delta, annotator)
         results.append((date, engine.select(index)))
         previous_snapshot = snapshot
         previous_signature = signature

@@ -15,7 +15,14 @@ Subcommands:
   index files are memory-loaded; CSV exports are streamed).
 * ``serve``      — stand up the JSON HTTP lookup endpoint over an
   index/CSV file, or ``--archive`` for a zero-copy ``mmap`` attach;
-  ``--workers N`` scales it to a multi-process SO_REUSEPORT fleet.
+  ``--workers N`` scales it to a multi-process SO_REUSEPORT fleet
+  (``--status-port`` places the fleet's control-plane endpoints).
+* ``status``     — fetch and render a serving endpoint's ``/v1/status``
+  (fleet or single worker view).
+
+``detect`` and ``detect-series`` accept ``--stats`` to print the
+per-stage wall/CPU timing table (Steps 1-4, per-shard) recorded by the
+telemetry layer (:mod:`repro.obs`) after the run.
 
 Exit codes: 0 success, 1 lookup miss, 2 usage/input error.
 """
@@ -48,6 +55,12 @@ def _add_substrate_options(command: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for --substrate sharded "
         "(0 = all cores; small inputs fall back to single-process)",
+    )
+    command.add_argument(
+        "--stats",
+        action="store_true",
+        help="after the run, print the per-stage wall/CPU timing table "
+        "(Steps 1-4, per-shard) to stderr",
     )
 
 
@@ -162,7 +175,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "fleet (binary index or --archive sources only), 1 serves "
         "in-process",
     )
+    serve.add_argument(
+        "--status-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="fleet control-plane port for the fleet-wide /v1/status and "
+        "/v1/metrics endpoints (0 = pick a free port; single-worker "
+        "serving exposes them on the main port instead)",
+    )
+
+    status = sub.add_parser(
+        "status", help="fetch and render a serving endpoint's /v1/status"
+    )
+    status.add_argument(
+        "url",
+        help="base URL of a serving or fleet-control endpoint, e.g. "
+        "http://127.0.0.1:8080 (the /v1/status path is appended if "
+        "missing)",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON payload instead of the rendered view",
+    )
+    status.add_argument(
+        "--timeout", type=float, default=10.0, help="HTTP timeout, seconds"
+    )
     return parser
+
+
+def _print_stage_stats() -> None:
+    """The ``--stats`` payload: the telemetry layer's stage table."""
+    from repro.obs.tracing import get_registry, stage_table
+
+    print(stage_table(get_registry().snapshot()), file=sys.stderr)
 
 
 def _parse_thresholds(text: str) -> TunerConfig:
@@ -251,6 +298,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     finally:
         if args.output:
             stream.close()
+    if args.stats:
+        _print_stage_stats()
     return 0
 
 
@@ -302,6 +351,8 @@ def _cmd_detect_series(args: argparse.Namespace) -> int:
     finally:
         if args.output:
             stream.close()
+    if args.stats:
+        _print_stage_stats()
     return 0
 
 
@@ -483,6 +534,7 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         quiet=False,
+        control_port=args.status_port,
     )
     try:
         fleet.start()
@@ -500,11 +552,86 @@ def _serve_fleet(args: argparse.Namespace) -> int:
             f"serving sibling lookups on http://{args.host}:{fleet.port}/v1/ "
             f"with {args.workers} workers"
         )
+        if fleet.control_url:
+            print(
+                f"fleet status/metrics on {fleet.control_url}/v1/status "
+                f"and {fleet.control_url}/v1/metrics"
+            )
         threading.Event().wait()
     except KeyboardInterrupt:
         print("\nshutting down fleet")
     finally:
         fleet.stop()
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Fetch ``/v1/status`` and render a fleet or worker view."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/")
+    if not url.endswith("/v1/status"):
+        url += "/v1/status"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            payload = json.load(response)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if "workers" in payload:
+        uptime = payload.get("uptime_seconds")
+        print(
+            f"fleet {payload.get('host')}:{payload.get('port')}  "
+            f"generation={payload.get('generation')}  "
+            f"restarts={payload.get('restarts')}  "
+            f"swap_lag={payload.get('swap_lag')}"
+            + (f"  uptime={uptime:.1f}s" if uptime is not None else "")
+        )
+        print(
+            f"{'slot':>4} {'alive':>5} {'pid':>8} {'generation':>10} "
+            f"{'lag':>4} {'restarts':>8} {'queries':>8} {'snapshot':>12}"
+        )
+        for row in payload["workers"]:
+            print(
+                f"{row.get('slot', '?'):>4} "
+                f"{str(bool(row.get('alive'))):>5} "
+                f"{row.get('pid', '-'):>8} "
+                f"{row.get('generation', '-'):>10} "
+                f"{row.get('lag', '-'):>4} "
+                f"{row.get('restarts', 0):>8} "
+                f"{row.get('queries', '-'):>8} "
+                f"{row.get('snapshot', '-'):>12}"
+            )
+    else:
+        worker = payload.get("worker", {})
+        service = payload.get("service", {})
+        print(
+            f"worker pid={worker.get('pid')} "
+            f"generation={worker.get('generation')} "
+            f"uptime={worker.get('uptime_seconds', 0.0):.1f}s"
+        )
+        for key in (
+            "generation",
+            "swaps",
+            "queries",
+            "generation_age_seconds",
+        ):
+            if key in service:
+                value = service[key]
+                if isinstance(value, float):
+                    value = round(value, 3)
+                print(f"  {key}: {value}")
+        cache = service.get("cache")
+        if cache:
+            print(
+                f"  cache: size={cache.get('size')} hits={cache.get('hits')} "
+                f"misses={cache.get('misses')}"
+            )
     return 0
 
 
@@ -522,6 +649,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_lookup(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "status":
+        return _cmd_status(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -174,7 +174,13 @@ def detect_with_index(
     """Like :func:`detect_siblings` but also returns the index, which the
     SP-Tuner and several analyses need."""
     from repro.core.substrate import get_substrate
+    from repro.obs.tracing import trace
 
-    index = build_index(snapshot, annotator)
+    with trace("step12.build_index") as span:
+        index = build_index(snapshot, annotator)
+        span.add_items(len(index.domain_v4_prefixes))
     engine = get_substrate(substrate, workers=workers)
-    return engine.select(index, metric=metric, mode=mode), index
+    with trace("step34.select") as span:
+        result = engine.select(index, metric=metric, mode=mode)
+        span.add_items(len(result))
+    return result, index

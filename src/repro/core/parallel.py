@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from array import array
 from collections import Counter
 from typing import ClassVar
 
 from repro.core.substrate import SUBSTRATES, ColumnarSubstrate, _ColumnarState
+from repro.obs.tracing import record_stage
 
 #: Below this many emitted Step-3 pair rows the accumulation is cheaper
 #: than forking workers, and the engine transparently runs the
@@ -127,21 +129,32 @@ def build_shard_payloads_from_rows(
     ]
 
 
-def accumulate_shard(payload: tuple) -> tuple[int, array, array]:
+def accumulate_shard(payload: tuple) -> tuple[int, array, array, float, float]:
     """Step-3 accumulation for one shard (the worker entry point).
 
     Runs in a ``multiprocessing`` worker but is a pure function, so the
-    differential tests also call it in-process.  Returns the shard id
-    and the shard-local counter flattened into two parallel arrays
-    (packed keys, counts) — the pickle-light return leg.  Any failure
+    differential tests also call it in-process.  Returns the shard id,
+    the shard-local counter flattened into two parallel arrays (packed
+    keys, counts) — the pickle-light return leg — and the shard's own
+    wall/CPU seconds, which the parent records as per-shard stage
+    timings (workers can't reach the parent's registry).  Any failure
     is re-raised tagged with the shard id, so the parent's
     :class:`ShardedDetectionError` always names the failing shard.
     """
     shard = payload[0]
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
     try:
-        return _accumulate(payload)
+        shard, keys, counts = _accumulate(payload)
     except Exception as exc:
         raise RuntimeError(f"shard {shard} failed: {exc}") from exc
+    return (
+        shard,
+        keys,
+        counts,
+        time.perf_counter() - wall0,
+        time.process_time() - cpu0,
+    )
 
 
 def _accumulate(payload: tuple) -> tuple[int, array, array]:
@@ -284,8 +297,11 @@ class ShardedSubstrate(ColumnarSubstrate):
         # layout and nothing downstream observes it (scoring reduces
         # over all pairs, publishing sorts its rows).
         merged: Counter = Counter()
-        for _shard, keys, counts in shard_results:
+        for shard, keys, counts, wall, cpu in shard_results:
             dict.update(merged, zip(keys, counts))
+            record_stage(
+                "step3.shard", wall, cpu, items=len(keys), shard=str(shard)
+            )
         self.last_run = {
             "mode": mode,
             "workers": n_workers,

@@ -60,6 +60,7 @@ from repro.core.domainsets import PrefixDomainIndex
 from repro.core.metrics import METRICS_FROM_COUNTS
 from repro.core.siblings import SiblingPair, SiblingSet
 from repro.nettypes.prefix import Prefix
+from repro.obs.tracing import trace
 
 _LOW32 = 0xFFFFFFFF
 
@@ -490,8 +491,9 @@ class ColumnarSubstrate(Substrate):
             if cached.version != version:
                 deltas = index.deltas_since(cached.version)
                 if deltas is not None:
-                    for delta in deltas:
-                        self._patch_state(cached.state, index, delta)
+                    with trace("step12.patch", items=len(deltas)):
+                        for delta in deltas:
+                            self._patch_state(cached.state, index, delta)
                     # The safety net survives the patch path: the patched
                     # state's own structure must land on the index's
                     # fingerprint — an unmarked hand-edit hiding behind
@@ -500,7 +502,9 @@ class ColumnarSubstrate(Substrate):
                         cached.version = version
                         cached.fingerprint = fingerprint
                         return cached.state
-        state = self.columnarize(index)
+        with trace("step12.columnarize") as span:
+            state = self.columnarize(index)
+            span.add_items(len(state.dom_pos))
         setattr(
             index,
             self._STATE_ATTR,
@@ -655,66 +659,70 @@ class ColumnarSubstrate(Substrate):
         state = self.prepare(index)
         counts = state.counts
         if counts is None:
-            counts = self.pair_counts(state)
+            with trace("step3.accumulate") as span:
+                counts = self.pair_counts(state)
+                span.add_items(len(counts))
             state.counts = counts
-        metric_fn = METRICS_FROM_COUNTS[metric]
-        v4_sizes = state.v4_sizes
-        v6_sizes = state.v6_sizes
+        with trace("step4.select") as step4:
+            metric_fn = METRICS_FROM_COUNTS[metric]
+            v4_sizes = state.v4_sizes
+            v6_sizes = state.v6_sizes
 
-        best_v4: dict[int, float] = {}
-        best_v6: dict[int, float] = {}
-        best_v4_get = best_v4.get
-        best_v6_get = best_v6.get
-        scored: list[tuple[int, float]] = []
-        scored_append = scored.append
-        for key, shared in counts.items():
-            a = key >> 32
-            b = key & _LOW32
-            value = metric_fn(shared, v4_sizes[a], v6_sizes[b])
-            if value <= 0.0:
-                continue
-            scored_append((key, value))
-            if value > best_v4_get(a, 0.0):
-                best_v4[a] = value
-            if value > best_v6_get(b, 0.0):
-                best_v6[b] = value
+            best_v4: dict[int, float] = {}
+            best_v6: dict[int, float] = {}
+            best_v4_get = best_v4.get
+            best_v6_get = best_v6.get
+            scored: list[tuple[int, float]] = []
+            scored_append = scored.append
+            for key, shared in counts.items():
+                a = key >> 32
+                b = key & _LOW32
+                value = metric_fn(shared, v4_sizes[a], v6_sizes[b])
+                if value <= 0.0:
+                    continue
+                scored_append((key, value))
+                if value > best_v4_get(a, 0.0):
+                    best_v4[a] = value
+                if value > best_v6_get(b, 0.0):
+                    best_v6[b] = value
 
-        # Specialize the keep predicate outside the per-pair loop.
-        want_v4 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V4_ONLY)
-        want_v6 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V6_ONLY)
-        need_both = mode is BestMatchMode.BOTH
+            # Specialize the keep predicate outside the per-pair loop.
+            want_v4 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V4_ONLY)
+            want_v6 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V6_ONLY)
+            need_both = mode is BestMatchMode.BOTH
 
-        result = SiblingSet(index.date)
-        v4_prefixes = state.v4_prefixes
-        v6_prefixes = state.v6_prefixes
-        names = self._domain_names
-        for key, value in scored:
-            a = key >> 32
-            b = key & _LOW32
-            is_best_v4 = want_v4 and value >= best_v4[a] - TIE_EPSILON
-            is_best_v6 = want_v6 and value >= best_v6[b] - TIE_EPSILON
-            if need_both:
-                keep = is_best_v4 and is_best_v6
-            else:
-                keep = is_best_v4 or is_best_v6
-            if not keep:
-                continue
-            # Lazy materialization: only surviving pairs intersect their
-            # posting lists and map ids back to domain strings.
-            gids_a = state.v4_gids(a)
-            gids_b = state.v6_gids(b)
-            result.add(
-                SiblingPair(
-                    v4_prefix=v4_prefixes[a],
-                    v6_prefix=v6_prefixes[b],
-                    similarity=value,
-                    shared_domains=frozenset(
-                        map(names.__getitem__, gids_a & gids_b)
-                    ),
-                    v4_domain_count=v4_sizes[a],
-                    v6_domain_count=v6_sizes[b],
+            result = SiblingSet(index.date)
+            v4_prefixes = state.v4_prefixes
+            v6_prefixes = state.v6_prefixes
+            names = self._domain_names
+            for key, value in scored:
+                a = key >> 32
+                b = key & _LOW32
+                is_best_v4 = want_v4 and value >= best_v4[a] - TIE_EPSILON
+                is_best_v6 = want_v6 and value >= best_v6[b] - TIE_EPSILON
+                if need_both:
+                    keep = is_best_v4 and is_best_v6
+                else:
+                    keep = is_best_v4 or is_best_v6
+                if not keep:
+                    continue
+                # Lazy materialization: only surviving pairs intersect their
+                # posting lists and map ids back to domain strings.
+                gids_a = state.v4_gids(a)
+                gids_b = state.v6_gids(b)
+                result.add(
+                    SiblingPair(
+                        v4_prefix=v4_prefixes[a],
+                        v6_prefix=v6_prefixes[b],
+                        similarity=value,
+                        shared_domains=frozenset(
+                            map(names.__getitem__, gids_a & gids_b)
+                        ),
+                        v4_domain_count=v4_sizes[a],
+                        v6_domain_count=v6_sizes[b],
+                    )
                 )
-            )
+            step4.add_items(len(scored))
         return result
 
     def group_stats(

@@ -41,7 +41,11 @@ import pathlib
 import socket
 import threading
 
-from repro.serving.http import SiblingHTTPServer
+import time
+
+from repro.obs.metrics import merge_snapshots, render_prometheus
+from repro.obs.tracing import reset_registry
+from repro.serving.http import SiblingHTTPServer, StatusHTTPServer
 from repro.serving.service import SiblingQueryService
 
 #: Seconds a freshly spawned worker gets to bind + attach + ack ready.
@@ -142,6 +146,8 @@ def _serving_info(slot: int, service: SiblingQueryService) -> dict:
         "snapshot": None if index is None else index.snapshot.isoformat(),
         "swaps": info["swaps"],
         "queries": info["queries"],
+        "uptime_seconds": info["uptime_seconds"],
+        "generation_age_seconds": info["generation_age_seconds"],
     }
 
 
@@ -162,6 +168,8 @@ def _worker_main(
     * ``("swap", seq)``     → refresh from the source, reply
       ``("swapped", seq, info)``.
     * ``("status", seq)``   → reply ``("status", seq, info)``.
+    * ``("metrics", seq)``  → reply ``("metrics", seq, {"info": …,
+      "metrics": registry snapshot})`` — the fleet-aggregation leg.
     * ``("stop", seq)``     → reply ``("stopping", seq, info)``, shut
       the HTTP server down cleanly, exit 0.
 
@@ -175,8 +183,13 @@ def _worker_main(
             os.close(fd)
         except OSError:
             pass
+    # A fork-started worker inherits the supervisor's process registry
+    # — including any detection/archive metrics recorded before the
+    # fleet started.  Fresh registry, or fleet merges double-count.
+    registry = reset_registry()
     service = source.build()
     with _FleetHTTPServer((host, port), service, quiet=quiet) as server:
+        server.worker_info = {"slot": slot}
         server.start()
         conn.send(("ready", _serving_info(slot, service)))
         while True:
@@ -190,6 +203,18 @@ def _worker_main(
                 conn.send(("swapped", seq, _serving_info(slot, service)))
             elif command == "status":
                 conn.send(("status", seq, _serving_info(slot, service)))
+            elif command == "metrics":
+                service.observe_gauges()
+                conn.send(
+                    (
+                        "metrics",
+                        seq,
+                        {
+                            "info": _serving_info(slot, service),
+                            "metrics": registry.snapshot(),
+                        },
+                    )
+                )
             elif command == "stop":
                 conn.send(("stopping", seq, _serving_info(slot, service)))
                 break
@@ -198,12 +223,26 @@ def _worker_main(
 
 
 class _WorkerSlot:
-    """Supervisor-side record of one worker: process + control pipe."""
+    """Supervisor-side record of one worker: process + control pipe.
+
+    ``generation_offset`` re-bases a restarted worker's generation
+    counter: a fresh service restarts counting at 1, but the
+    replacement attaches the newest committed state — without the
+    offset it would report a phantom swap lag forever after.
+    """
 
     def __init__(self, process, conn):
         self.process = process
         self.conn = conn
         self.info: dict = {}
+        self.generation_offset = 0
+
+    def adjusted(self, info: dict) -> dict:
+        """*info* with the generation re-based onto the fleet's count."""
+        if self.generation_offset and "generation" in info:
+            info = dict(info)
+            info["generation"] += self.generation_offset
+        return info
 
 
 class ServingFleet:
@@ -213,6 +252,13 @@ class ServingFleet:
     listening, guard socket reserves it for the fleet's lifetime —
     only listening sockets receive connections, so the guard steals
     none) and every worker binds it with ``SO_REUSEPORT``.
+
+    The SO_REUSEPORT data port is kernel-load-balanced — no worker can
+    answer for the fleet — so the supervisor additionally binds a
+    *control port* (``control_port=0`` picks one; ``None`` disables)
+    serving fleet-wide ``/v1/status`` (live per-worker round-trips:
+    generation, restarts, swap lag) and ``/v1/metrics`` (per-worker
+    registries merged via :func:`repro.obs.metrics.merge_snapshots`).
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     """
@@ -225,6 +271,7 @@ class ServingFleet:
         port: int = 0,
         quiet: bool = True,
         ready_timeout: float = READY_TIMEOUT,
+        control_port: "int | None" = 0,
     ):
         if workers < 1:
             raise FleetError(f"workers must be >= 1, got {workers}")
@@ -233,6 +280,7 @@ class ServingFleet:
         self.workers = workers
         self.host = host
         self._requested_port = port
+        self._requested_control_port = control_port
         self.quiet = quiet
         self.ready_timeout = ready_timeout
         methods = multiprocessing.get_all_start_methods()
@@ -241,10 +289,13 @@ class ServingFleet:
         )
         self._is_fork = "fork" in methods
         self._guard: socket.socket | None = None
+        self._control: StatusHTTPServer | None = None
         self._slots: list[_WorkerSlot | None] = [None] * workers
         self._lock = threading.RLock()
         self._seq = 0
         self._restarts = 0
+        self._slot_restarts = [0] * workers
+        self._started_monotonic: "float | None" = None
         self._stopping = threading.Event()
         self._monitor_thread: threading.Thread | None = None
 
@@ -263,9 +314,20 @@ class ServingFleet:
             guard.close()
             raise
         self._guard = guard
+        self._started_monotonic = time.monotonic()
         try:
             for slot in range(self.workers):
                 self._spawn(slot)
+            if self._requested_control_port is not None:
+                self._control = StatusHTTPServer(
+                    (self.host, self._requested_control_port),
+                    status_provider=self.status,
+                    metrics_provider=lambda: render_prometheus(
+                        self.metrics()["merged"]
+                    ),
+                    quiet=self.quiet,
+                )
+                self._control.start()
         except Exception:
             self.stop()
             raise
@@ -281,6 +343,9 @@ class ServingFleet:
         if self._monitor_thread is not None:
             self._monitor_thread.join(timeout=10)
             self._monitor_thread = None
+        if self._control is not None:
+            self._control.close()
+            self._control = None
         with self._lock:
             for worker in self._slots:
                 if worker is None:
@@ -325,6 +390,21 @@ class ServingFleet:
         """Base URL clients hit, e.g. ``http://127.0.0.1:8080``."""
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def control_port(self) -> "int | None":
+        """The control-plane port (``None`` when disabled/not started)."""
+        if self._control is None:
+            return None
+        return self._control.server_address[1]
+
+    @property
+    def control_url(self) -> "str | None":
+        """Base URL of the fleet-wide status/metrics endpoints."""
+        port = self.control_port
+        if port is None:
+            return None
+        return f"http://{self.host}:{port}"
+
     # -- commands -------------------------------------------------------------
 
     def broadcast_swap(self, timeout: float = COMMAND_TIMEOUT) -> list[dict]:
@@ -349,23 +429,34 @@ class ServingFleet:
             for worker, seq in pending:
                 reply = self._recv_reply(worker, "swapped", seq, timeout)
                 if reply is not None:
-                    worker.info = reply
-                    acks.append(reply)
+                    worker.info = worker.adjusted(reply)
+                    acks.append(worker.info)
         return acks
 
     def status(self, timeout: float = COMMAND_TIMEOUT) -> dict:
-        """Fleet status: address, restart count, one row per worker.
+        """Fleet status: address, restart counts, one row per worker.
 
-        A live worker is queried over its pipe (so ``generation`` /
-        ``snapshot`` / counters are current); a dead-and-not-yet
-        restarted slot reports ``alive: False`` with its last known
-        info.
+        Every live worker is queried with a live seq-echoed round-trip
+        (so ``generation`` / ``snapshot`` / counters reflect *now*,
+        not the monitor's last poll); a dead-and-not-yet restarted
+        slot reports ``alive: False`` with its last known info.  Each
+        row carries the slot's cumulative ``restarts`` and its swap
+        ``lag`` (fleet max generation minus the worker's, with
+        restarted workers' counters re-based so a replacement on the
+        newest state reports lag 0); the fleet level reports the max
+        ``generation`` and worst ``swap_lag``.
         """
         rows = []
         with self._lock:
             for slot, worker in enumerate(self._slots):
                 if worker is None:
-                    rows.append({"slot": slot, "alive": False})
+                    rows.append(
+                        {
+                            "slot": slot,
+                            "alive": False,
+                            "restarts": self._slot_restarts[slot],
+                        }
+                    )
                     continue
                 row = dict(worker.info)
                 row["slot"] = slot
@@ -378,17 +469,92 @@ class ServingFleet:
                     except (OSError, BrokenPipeError):
                         reply = None
                     if reply is not None:
-                        worker.info = reply
-                        row.update(reply, alive=True)
+                        worker.info = worker.adjusted(reply)
+                        row.update(worker.info, alive=True)
                     else:
                         row["alive"] = worker.process.is_alive()
+                row["restarts"] = self._slot_restarts[slot]
                 rows.append(row)
+            generation = max(
+                (
+                    row["generation"]
+                    for row in rows
+                    if row["alive"] and "generation" in row
+                ),
+                default=0,
+            )
+            for row in rows:
+                if row["alive"] and "generation" in row:
+                    row["lag"] = generation - row["generation"]
             return {
                 "host": self.host,
                 "port": self.port if self._guard is not None else None,
+                "control_port": self.control_port,
                 "workers": rows,
                 "restarts": self._restarts,
+                "generation": generation,
+                "swap_lag": max(
+                    (row.get("lag", 0) for row in rows), default=0
+                ),
+                "uptime_seconds": (
+                    None
+                    if self._started_monotonic is None
+                    else time.monotonic() - self._started_monotonic
+                ),
             }
+
+    def metrics(self, timeout: float = COMMAND_TIMEOUT) -> dict:
+        """Fleet metrics: per-worker registry snapshots plus the merge.
+
+        Issues a live seq-echoed ``metrics`` round-trip per worker and
+        folds the returned snapshots with
+        :func:`~repro.obs.metrics.merge_snapshots` (counters and
+        histograms add; gauges take the max).  Supervisor-side fleet
+        facts are injected as ``fleet.*`` gauges.  Returns
+        ``{"workers": [...], "merged": snapshot}``.
+        """
+        per_worker = []
+        with self._lock:
+            pending = []
+            for slot, worker in enumerate(self._slots):
+                if worker is None or not worker.process.is_alive():
+                    continue
+                seq = self._next_seq()
+                try:
+                    worker.conn.send(("metrics", seq))
+                except (OSError, BrokenPipeError):
+                    continue
+                pending.append((slot, worker, seq))
+            for slot, worker, seq in pending:
+                reply = self._recv_reply(worker, "metrics", seq, timeout)
+                if reply is not None:
+                    worker.info = worker.adjusted(reply["info"])
+                    per_worker.append(
+                        {
+                            "slot": slot,
+                            "info": worker.info,
+                            "metrics": reply["metrics"],
+                        }
+                    )
+            restarts = self._restarts
+            started = self._started_monotonic
+        merged = merge_snapshots(entry["metrics"] for entry in per_worker)
+        gauges = merged["gauges"]
+        gauges["fleet.workers"] = float(self.workers)
+        gauges["fleet.workers_alive"] = float(len(per_worker))
+        gauges["fleet.restarts"] = float(restarts)
+        generations = [
+            entry["info"].get("generation", 0) for entry in per_worker
+        ]
+        generation = max(generations, default=0)
+        gauges["fleet.generation"] = float(generation)
+        gauges["fleet.swap_lag"] = float(
+            max((generation - g for g in generations), default=0)
+        )
+        if started is not None:
+            gauges["fleet.uptime_seconds"] = time.monotonic() - started
+        merged["gauges"] = dict(sorted(gauges.items()))
+        return {"workers": per_worker, "merged": merged}
 
     # -- internals ------------------------------------------------------------
 
@@ -447,7 +613,17 @@ class ServingFleet:
             raise FleetError(f"worker {slot} died during startup") from exc
         if kind != "ready":  # pragma: no cover - defensive
             raise FleetError(f"worker {slot} sent {kind!r} instead of ready")
-        worker.info = info
+        # A replacement rejoins on the newest committed state, so its
+        # reported generation continues from the fleet's, not from 1.
+        peers = [
+            peer.info["generation"] + peer.generation_offset
+            for peer in self._slots
+            if peer is not None and "generation" in peer.info
+        ]
+        worker.generation_offset = max(
+            0, max(peers, default=0) - info.get("generation", 0)
+        )
+        worker.info = worker.adjusted(info)
         self._slots[slot] = worker
 
     def _recv_reply(self, worker, expect: str, seq: int, timeout: float):
@@ -485,6 +661,7 @@ class ServingFleet:
                     except FleetError:
                         continue  # retry on the next tick
                     self._restarts += 1
+                    self._slot_restarts[slot] += 1
 
     def __repr__(self) -> str:
         state = "started" if self._guard is not None else "stopped"

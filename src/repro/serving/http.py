@@ -14,48 +14,67 @@ Endpoints:
   with the input, malformed entries in-band per row.
 * ``GET /v1/snapshot`` — current index generation metadata plus
   query/cache counters.
+* ``GET /v1/status`` — liveness/identity view: worker pid, uptime,
+  generation, plus the service info (fleet-wide rows when served by
+  the supervisor's control server).
+* ``GET /v1/metrics`` — Prometheus text exposition of the process
+  registry (the merged fleet registry on the control server).
 
-Anything else is a 404; all bodies are ``application/json``.
+Both telemetry handlers snapshot the registry first and render/write
+from the plain snapshot dict — no registry or service lock is ever
+held across socket I/O, so a slow scraper can never stall lookups or
+a swap (regression-tested in ``tests/test_serving_stress.py``).
+
+Anything else is a 404; bodies are ``application/json`` except
+``/v1/metrics`` (``text/plain``).
+
+:class:`StatusHTTPServer` is the supervisor-side control-plane server:
+the SO_REUSEPORT fleet port is kernel-load-balanced, so no single
+worker can answer for the fleet — the supervisor binds a *separate*
+port and serves fleet-wide ``/v1/status`` + ``/v1/metrics`` from
+callables provided by :class:`~repro.serving.fleet.ServingFleet`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs.metrics import render_prometheus
 from repro.serving.service import QueryError, SiblingQueryService
 
 #: Largest accepted ``POST /v1/batch`` body, a denial-of-accident guard.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
-class SiblingHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server that owns the query service reference.
+class ManagedHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server with an explicit start/close lifecycle.
 
-    Lifecycle: :meth:`start` runs ``serve_forever`` in a background
-    thread and returns ``self``; :meth:`close` stops that thread (if
-    any), joins it, and releases the listening socket.  Used as a
-    context manager the server closes on exit, so tests and embedders
-    never leak sockets or rely on daemon-thread teardown.
+    :meth:`start` runs ``serve_forever`` in a background thread and
+    returns ``self``; :meth:`close` stops that thread (if any), joins
+    it, and releases the listening socket.  Used as a context manager
+    the server closes on exit, so tests and embedders never leak
+    sockets or rely on daemon-thread teardown.
     """
 
     daemon_threads = True
 
-    def __init__(self, address, service: SiblingQueryService, quiet: bool = True):
-        self.service = service
-        self.quiet = quiet
-        self._serve_thread: threading.Thread | None = None
-        super().__init__(address, SiblingRequestHandler)
+    #: Thread-name prefix for the serve thread.
+    thread_prefix = "managed-http"
 
-    def start(self) -> "SiblingHTTPServer":
+    _serve_thread: threading.Thread | None = None
+
+    def start(self) -> "ManagedHTTPServer":
         """Serve in a background thread; returns ``self`` for chaining."""
         if self._serve_thread is not None and self._serve_thread.is_alive():
             raise RuntimeError("server already started")
         self._serve_thread = threading.Thread(
             target=self.serve_forever,
-            name=f"sibling-http-{self.server_address[1]}",
+            name=f"{self.thread_prefix}-{self.server_address[1]}",
         )
         self._serve_thread.start()
         return self
@@ -78,8 +97,24 @@ class SiblingHTTPServer(ThreadingHTTPServer):
         self.close()
 
 
+class SiblingHTTPServer(ManagedHTTPServer):
+    """The data-plane server: owns the query service reference."""
+
+    thread_prefix = "sibling-http"
+
+    def __init__(self, address, service: SiblingQueryService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        self.started_at = time.monotonic()
+        #: Extra identity keys (e.g. the fleet worker slot) merged into
+        #: this server's ``/v1/status`` worker view.
+        self.worker_info: dict = {}
+        self._serve_thread: threading.Thread | None = None
+        super().__init__(address, SiblingRequestHandler)
+
+
 class SiblingRequestHandler(BaseHTTPRequestHandler):
-    """Routes the three ``/v1`` endpoints onto the service."""
+    """Routes the ``/v1`` endpoints onto the service."""
 
     server: SiblingHTTPServer
 
@@ -90,7 +125,8 @@ class SiblingRequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
-        """Dispatch ``/v1/lookup`` and ``/v1/snapshot``."""
+        """Dispatch ``/v1/lookup``, ``/v1/snapshot``, ``/v1/status``,
+        and ``/v1/metrics``."""
         url = urlparse(self.path)
         if url.path == "/v1/lookup":
             query = parse_qs(url.query).get("ip", [])
@@ -100,8 +136,29 @@ class SiblingRequestHandler(BaseHTTPRequestHandler):
             self._answer(lambda: self.server.service.lookup(query[0]))
         elif url.path == "/v1/snapshot":
             self._answer(self.server.service.snapshot_info)
+        elif url.path == "/v1/status":
+            self._answer(self._status_payload)
+        elif url.path == "/v1/metrics":
+            service = self.server.service
+            service.observe_gauges()
+            # Snapshot under per-metric locks, render and write from
+            # the plain dict — nothing shared is held across the socket.
+            text = render_prometheus(service.registry.snapshot())
+            self._reply_text(200, text)
         else:
             self._reply(404, {"error": f"unknown path {url.path!r}"})
+
+    def _status_payload(self) -> dict:
+        """One worker's ``/v1/status`` view (``fleet`` is the
+        supervisor's business — ``None`` here)."""
+        service = self.server.service
+        worker = {
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self.server.started_at,
+            "generation": service.generation,
+        }
+        worker.update(self.server.worker_info)
+        return {"fleet": None, "worker": worker, "service": service.snapshot_info()}
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
         """Dispatch ``/v1/batch``.
@@ -154,14 +211,81 @@ class SiblingRequestHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, body: dict) -> None:
         data = json.dumps(body).encode("utf-8")
+        self._send(status, "application/json", data)
+
+    def _reply_text(self, status: int, text: str) -> None:
+        self._send(status, "text/plain; version=0.0.4", text.encode("utf-8"))
+
+    def _send(self, status: int, content_type: str, data: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Respect the server's ``quiet`` flag instead of spamming stderr."""
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+
+class StatusHTTPServer(ManagedHTTPServer):
+    """Control-plane server: fleet-wide ``/v1/status`` + ``/v1/metrics``.
+
+    *status_provider* returns the JSON-able status dict;
+    *metrics_provider* returns already-rendered Prometheus text.  Both
+    are called per request — the fleet supervisor's providers do live
+    seq-echoed round-trips to every worker, so a scrape here reflects
+    the fleet *now*, not the monitor's last poll.
+    """
+
+    thread_prefix = "status-http"
+
+    def __init__(self, address, status_provider, metrics_provider, quiet: bool = True):
+        self.status_provider = status_provider
+        self.metrics_provider = metrics_provider
+        self.quiet = quiet
+        self._serve_thread: threading.Thread | None = None
+        super().__init__(address, StatusRequestHandler)
+
+
+class StatusRequestHandler(BaseHTTPRequestHandler):
+    """Two read-only control endpoints; anything else is a 404."""
+
+    server: StatusHTTPServer
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Serve ``/v1/status`` (JSON) and ``/v1/metrics`` (text)."""
+        path = urlparse(self.path).path
+        try:
+            if path == "/v1/status":
+                data = json.dumps(self.server.status_provider()).encode("utf-8")
+                content_type = "application/json"
+            elif path == "/v1/metrics":
+                data = self.server.metrics_provider().encode("utf-8")
+                content_type = "text/plain; version=0.0.4"
+            else:
+                data = json.dumps({"error": f"unknown path {path!r}"}).encode(
+                    "utf-8"
+                )
+                self._send(404, "application/json", data)
+                return
+        except Exception as exc:  # supervisor races (stopping fleet, dead pipe)
+            data = json.dumps({"error": str(exc)}).encode("utf-8")
+            self._send(503, "application/json", data)
+            return
+        self._send(200, content_type, data)
+
+    def _send(self, status: int, content_type: str, data: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 

@@ -11,6 +11,15 @@ the new one, and the answer cache is cleared in the same critical
 section so no stale answer can ever be served against a newer
 generation.
 
+Every service instance reports into a :class:`~repro.obs.metrics.
+MetricsRegistry` (the process default unless one is injected):
+lookup/batch counters and latency histograms, cache hits/misses, swap
+count and swap critical-section latency, plus gauges for generation,
+generation age, and uptime refreshed by :meth:`~SiblingQueryService.
+observe_gauges`.  Metric updates happen strictly *outside* the service
+lock — telemetry can never extend the swap critical section.  See
+``docs/OBSERVABILITY.md`` for the catalog.
+
 This is the seam the longitudinal pipeline publishes into
 (:func:`repro.analysis.pipeline.serve_series`) and the HTTP layer
 (:mod:`repro.serving.http`) reads from.
@@ -19,9 +28,12 @@ This is the seam the longitudinal pipeline publishes into
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterable, Sequence
 
 from repro.nettypes.prefix import PrefixError
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from repro.obs.tracing import get_registry
 from repro.serving.cache import LruCache
 from repro.serving.index import SiblingLookupIndex
 
@@ -57,6 +69,7 @@ class SiblingQueryService:
         self,
         index: SiblingLookupIndex | None = None,
         cache_size: int = 4096,
+        registry: MetricsRegistry | None = None,
     ):
         self._lock = threading.Lock()
         self._index = index
@@ -64,6 +77,28 @@ class SiblingQueryService:
         self._generation = 0 if index is None else 1
         self._queries = 0
         self._swaps = 0
+        self._started_monotonic = time.monotonic()
+        self._last_swap_monotonic = self._started_monotonic
+        self._registry = registry if registry is not None else get_registry()
+        # Handles resolved once; hot paths touch only per-metric locks.
+        self._m_lookups = self._registry.counter("serve.lookups")
+        self._m_lookup_seconds = self._registry.histogram("serve.lookup_seconds")
+        self._m_batches = self._registry.counter("serve.batches")
+        self._m_batch_items = self._registry.counter("serve.batch_items")
+        self._m_batch_size = self._registry.histogram(
+            "serve.batch_size", bounds=DEFAULT_COUNT_BUCKETS
+        )
+        self._m_cache_hits = self._registry.counter("serve.cache_hits")
+        self._m_cache_misses = self._registry.counter("serve.cache_misses")
+        self._m_query_errors = self._registry.counter("serve.query_errors")
+        self._m_swaps = self._registry.counter("serve.swaps")
+        self._m_swap_seconds = self._registry.histogram("serve.swap_seconds")
+        self._m_attach_seconds = self._registry.histogram("serve.attach_seconds")
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this service reports into."""
+        return self._registry
 
     @classmethod
     def from_file(cls, path, cache_size: int = 4096) -> "SiblingQueryService":
@@ -99,7 +134,10 @@ class SiblingQueryService:
         """
         from repro.storage.index_io import load_mapped_index
 
-        return self.swap(load_mapped_index(path))
+        attach_start = time.perf_counter()
+        index = load_mapped_index(path)
+        self._m_attach_seconds.observe(time.perf_counter() - attach_start)
+        return self.swap(index)
 
     # -- publishing ----------------------------------------------------------
 
@@ -108,15 +146,20 @@ class SiblingQueryService:
 
         Returns the previous index (``None`` on first publish).  The
         answer cache is cleared under the same lock, so observers can
-        never mix answers from two generations.
+        never mix answers from two generations.  Metrics record the
+        critical-section latency from outside it.
         """
+        start = time.perf_counter()
         with self._lock:
             previous = self._index
             self._index = index
             self._generation += 1
             self._swaps += 1
             self._cache.clear()
-            return previous
+        self._last_swap_monotonic = time.monotonic()
+        self._m_swaps.inc()
+        self._m_swap_seconds.observe(time.perf_counter() - start)
+        return previous
 
     @property
     def index(self) -> SiblingLookupIndex | None:
@@ -127,6 +170,16 @@ class SiblingQueryService:
     def generation(self) -> int:
         """Monotonic publish counter (0 = nothing published yet)."""
         return self._generation
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this service instance was constructed."""
+        return time.monotonic() - self._started_monotonic
+
+    @property
+    def generation_age_seconds(self) -> float:
+        """Seconds since the last swap (construction if never swapped)."""
+        return time.monotonic() - self._last_swap_monotonic
 
     # -- queries -------------------------------------------------------------
 
@@ -139,11 +192,19 @@ class SiblingQueryService:
         :class:`QueryError` for malformed query text and when no index
         has been published yet.
         """
+        start = time.perf_counter()
         with self._lock:
             index = self._index
             generation = self._generation
             self._queries += 1
-        return self._answer_on(index, generation, query)
+        self._m_lookups.inc()
+        try:
+            answer = self._answer_on(index, generation, query)
+        except QueryError:
+            self._m_query_errors.inc()
+            raise
+        self._m_lookup_seconds.observe(time.perf_counter() - start)
+        return answer
 
     def _answer_on(
         self, index: SiblingLookupIndex | None, generation: int, query: str
@@ -158,7 +219,9 @@ class SiblingQueryService:
         key = (generation, text)
         cached = self._cache.get(key)
         if cached is not None:
+            self._m_cache_hits.inc()
             return dict(cached)
+        self._m_cache_misses.inc()
         try:
             result = index.lookup(text)
         except PrefixError as exc:
@@ -193,6 +256,9 @@ class SiblingQueryService:
             index = self._index
             generation = self._generation
             self._queries += len(items)
+        self._m_batches.inc()
+        self._m_batch_items.inc(len(items))
+        self._m_batch_size.observe(len(items))
         if index is None:
             raise QueryError("no index published yet")
         results = []
@@ -209,6 +275,22 @@ class SiblingQueryService:
 
     # -- introspection -------------------------------------------------------
 
+    def observe_gauges(self) -> None:
+        """Refresh the service gauges in the registry.
+
+        Gauges are sampled, not event-driven — callers (the ``/v1/
+        status`` and ``/v1/metrics`` handlers, the fleet ``metrics``
+        op) refresh them right before snapshotting the registry.
+        """
+        self._registry.gauge("serve.generation").set(self._generation)
+        self._registry.gauge("serve.generation_age_seconds").set(
+            self.generation_age_seconds
+        )
+        self._registry.gauge("serve.uptime_seconds").set(self.uptime_seconds)
+        self._registry.gauge("serve.cache_size").set(
+            self._cache.stats()["size"]
+        )
+
     def snapshot_info(self) -> dict:
         """Current generation metadata + service counters
         (the ``/v1/snapshot`` payload)."""
@@ -217,6 +299,8 @@ class SiblingQueryService:
             "generation": self._generation,
             "swaps": self._swaps,
             "queries": self._queries,
+            "uptime_seconds": self.uptime_seconds,
+            "generation_age_seconds": self.generation_age_seconds,
             "cache": self._cache.stats(),
         }
         if index is None:

@@ -53,6 +53,7 @@ import pathlib
 import sys
 from typing import Iterable
 
+from repro.obs.tracing import trace
 from repro.storage.format import (
     FOOTER,
     PAGE_SIZE,
@@ -158,12 +159,13 @@ class ArchiveReader:
     def open(cls, path: "str | pathlib.Path") -> "ArchiveReader":
         """Map *path* and validate its manifest; raises
         :class:`ArchiveFormatError` on anything suspect."""
-        buffer = MappedBuffer(path)
-        try:
-            return cls(buffer)
-        except ArchiveFormatError:
-            buffer.close()
-            raise
+        with trace("archive.attach"):
+            buffer = MappedBuffer(path)
+            try:
+                return cls(buffer)
+            except ArchiveFormatError:
+                buffer.close()
+                raise
 
     # -- access ---------------------------------------------------------------
 
@@ -345,10 +347,11 @@ class ArchiveWriter:
         JSON-able metadata the matching decoder needs (keyed by kind:
         ``"siblings"``, ``"index"``, ``"state"``).
         """
-        descriptors = {
-            name: self._append_segment(payload)
-            for name, payload in segments.items()
-        }
+        with trace("archive.append", items=len(segments)):
+            descriptors = {
+                name: self._append_segment(payload)
+                for name, payload in segments.items()
+            }
         gid = self._next_gid
         self._next_gid += 1
         self._manifest["generations"].append(
@@ -406,19 +409,22 @@ class ArchiveWriter:
         """Write the new manifest + footer and fsync (idempotent)."""
         if not self._dirty:
             return
-        payload = json.dumps(self._manifest, separators=(",", ":")).encode(
-            "utf-8"
-        )
-        offset = align_up(self._end)
-        self._file.seek(offset)
-        self._file.write(payload)
-        self._file.write(pack_footer(offset, len(payload), crc32_view(payload)))
-        self._end = offset + len(payload) + FOOTER.size
-        self._file.truncate(self._end)
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self._committed_end = self._end
-        self._dirty = False
+        with trace("archive.commit"):
+            payload = json.dumps(self._manifest, separators=(",", ":")).encode(
+                "utf-8"
+            )
+            offset = align_up(self._end)
+            self._file.seek(offset)
+            self._file.write(payload)
+            self._file.write(
+                pack_footer(offset, len(payload), crc32_view(payload))
+            )
+            self._end = offset + len(payload) + FOOTER.size
+            self._file.truncate(self._end)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._committed_end = self._end
+            self._dirty = False
 
     def close(self) -> None:
         """Commit pending appends and release the file handle."""

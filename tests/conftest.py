@@ -17,6 +17,15 @@ import pytest
 from repro.dates import REFERENCE_DATE
 from repro.synth import build_universe
 
+
+def pytest_configure(config):
+    """Register the telemetry marker used by the CI fleet-stress job."""
+    config.addinivalue_line(
+        "markers",
+        "obs: observability/telemetry suites (metrics registry, tracing, "
+        "status endpoints) — selected by the blocking CI fleet-stress job",
+    )
+
 try:
     from hypothesis import HealthCheck, settings
 

@@ -116,8 +116,9 @@ def test_shard_plan_is_exact_partition(index, n_shards):
     merged: dict[int, int] = {}
     seen_keys: set[int] = set()
     for payload in payloads:
-        shard, keys, counts = accumulate_shard(payload)
+        shard, keys, counts, wall, cpu = accumulate_shard(payload)
         assert shard == payload[0]
+        assert wall >= 0.0 and cpu >= 0.0
         shard_keys = set(keys)
         assert not (shard_keys & seen_keys), "shard key spaces overlap"
         seen_keys |= shard_keys

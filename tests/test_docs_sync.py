@@ -1,6 +1,6 @@
 """Documentation must track the code — drift fails CI, not readers.
 
-Three sync contracts, all mechanical:
+Four sync contracts, all mechanical:
 
 * **CLI reference** — every ``argparse`` subcommand and every long
   option it accepts (walked from the real parser, so a new flag cannot
@@ -14,6 +14,11 @@ Three sync contracts, all mechanical:
 * **Links and anchors** — every relative markdown link in ``README.md``
   and ``docs/*.md`` resolves to a real file, and every ``#anchor``
   matches a heading slug in its target.
+* **Observability catalog** — every metric and stage name the code
+  records (literal ``counter``/``gauge``/``histogram`` registrations
+  and ``trace``/``record_stage`` spans in ``src/repro/``) is
+  catalogued in ``docs/OBSERVABILITY.md``, and the catalog names no
+  metric or stage the code no longer records.
 
 This module is the blocking payload of the CI ``docs`` job.
 """
@@ -38,6 +43,7 @@ PERF_RESULT_FILES = (
     "incremental_series.txt",
     "archive_coldstart.txt",
     "serving_fleet.txt",
+    "obs_overhead.txt",
 )
 
 
@@ -157,6 +163,65 @@ def test_perf_result_files_are_cited():
             f"benchmarks/results/{name} exists but docs/PERFORMANCE.md "
             f"never cites it"
         )
+
+
+# -- observability catalog ---------------------------------------------------
+
+OBSERVABILITY = REPO / "docs" / "OBSERVABILITY.md"
+SRC = REPO / "src" / "repro"
+
+#: Literal metric registrations — ``registry.counter("name")`` and
+#: friends — plus the supervisor-injected ``fleet.*`` gauges, which are
+#: written as plain snapshot-dict keys (``gauges["fleet.workers"]``).
+_METRIC_LITERAL = re.compile(
+    r'(?:\.(?:counter|gauge|histogram)\(|gauges\[)\s*\n?\s*"([a-z0-9_.]+)"'
+)
+
+#: Literal stage names: ``trace("stage")`` spans and
+#: ``record_stage("stage", ...)`` calls.
+_STAGE_LITERAL = re.compile(
+    r'(?:\btrace|\brecord_stage)\(\s*\n?\s*"([a-z0-9_.]+)"'
+)
+
+#: A catalog entry in OBSERVABILITY.md: a markdown table row whose
+#: first cell is a backticked dotted name.  Other tables in the doc
+#: (endpoints, CLI) never lead with a bare dotted identifier.
+_CATALOG_ROW = re.compile(r"^\|\s*`([a-z0-9_]+\.[a-z0-9_.]+)`", re.M)
+
+
+def _names_recorded_in_source() -> set[str]:
+    """Every metric and stage name literal in ``src/repro/``.
+
+    The dot requirement filters generic docstring examples; every real
+    name is namespaced (``serve.lookups``, ``step3.accumulate``).
+    """
+    names: set[str] = set()
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        names.update(_METRIC_LITERAL.findall(text))
+        names.update(_STAGE_LITERAL.findall(text))
+    return {name for name in names if "." in name}
+
+
+def test_observability_catalog_is_complete():
+    """Every recorded metric/stage name appears in the doc's tables."""
+    catalogued = set(_CATALOG_ROW.findall(OBSERVABILITY.read_text()))
+    assert catalogued, "docs/OBSERVABILITY.md has no catalog rows"
+    missing = sorted(_names_recorded_in_source() - catalogued)
+    assert not missing, (
+        "metric/stage names recorded in src/repro but absent from the "
+        f"docs/OBSERVABILITY.md catalog: {missing}"
+    )
+
+
+def test_observability_catalog_has_no_ghosts():
+    """The doc never catalogs a name the code no longer records."""
+    catalogued = set(_CATALOG_ROW.findall(OBSERVABILITY.read_text()))
+    ghosts = sorted(catalogued - _names_recorded_in_source())
+    assert not ghosts, (
+        "docs/OBSERVABILITY.md catalogs metric/stage names no longer "
+        f"recorded anywhere in src/repro: {ghosts}"
+    )
 
 
 # -- relative links and anchors ----------------------------------------------

@@ -1,7 +1,8 @@
-"""Docstring presence for the public core, serving, and storage APIs.
+"""Docstring presence for the public core, serving, storage, and obs APIs.
 
 Companion to ``test_doctests.py``: every module under ``repro.core``,
-``repro.serving``, and ``repro.storage`` must carry a module docstring,
+``repro.serving``, ``repro.storage``, and ``repro.obs`` must carry a
+module docstring,
 and every public function, class, and method must document itself.
 This pins the documentation layer the architecture docs link into —
 drift fails CI instead of rotting.
@@ -14,12 +15,13 @@ import pkgutil
 import pytest
 
 import repro.core
+import repro.obs
 import repro.serving
 import repro.storage
 
 
 def _documented_packages():
-    for package in (repro.core, repro.serving, repro.storage):
+    for package in (repro.core, repro.obs, repro.serving, repro.storage):
         for info in pkgutil.iter_modules(
             package.__path__, package.__name__ + "."
         ):

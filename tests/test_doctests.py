@@ -8,6 +8,8 @@ import repro.dns.zone
 import repro.nettypes.prefix
 import repro.nettypes.sets
 import repro.nettypes.trie
+import repro.obs.metrics
+import repro.obs.tracing
 import repro.serving.cache
 import repro.serving.index
 import repro.serving.service
@@ -19,6 +21,8 @@ MODULES = (
     repro.nettypes.trie,
     repro.nettypes.sets,
     repro.dns.zone,
+    repro.obs.metrics,
+    repro.obs.tracing,
     repro.serving.cache,
     repro.serving.index,
     repro.serving.service,

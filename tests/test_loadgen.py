@@ -251,3 +251,80 @@ class TestParseMixAndValidation:
         assert summary["errors"] == 1
         assert summary["qps"] == pytest.approx(1.0)
         assert summary["p50"] == pytest.approx(0.003)
+
+    def test_summarize_breaks_down_status_codes(self):
+        from benchmarks.loadgen import LoadResult, RequestRecord
+
+        records = [
+            RequestRecord(0.0, "point", True, 0.002, 1.0, (), 200),
+            RequestRecord(0.1, "point", False, 0.003, 1.1, (), 500),
+            RequestRecord(0.2, "point", False, 0.0, 1.2, (), None, True),
+            RequestRecord(0.3, "point", True, 0.004, 1.3, (), 200, True),
+        ]
+        summary = summarize(LoadResult(records, 2.0))
+        assert summary["status_counts"] == {
+            "200": 2,
+            "500": 1,
+            "transport": 1,
+        }
+        assert summary["retried"] == 2
+
+
+class TestExecutionRecordsStatus:
+    """The runner's records carry HTTP status; non-200 is never ``ok``."""
+
+    def test_non_200_responses_are_errors(self):
+        import json
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        from benchmarks.loadgen import run_load
+
+        class StubHandler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self):
+                status = 500 if "broken" in self.path else 200
+                body = json.dumps({"found": False}).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), StubHandler)
+        server.daemon_threads = True
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            schedule = generate_schedule(
+                ["healthy-target", "broken-target"],
+                40,
+                10000.0,
+                TrafficMix("point", zipf_s=0.0),
+                seed=3,
+            )
+            result = run_load(
+                f"http://{host}:{port}", schedule, connections=2
+            )
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+
+        assert len(result.records) == 40
+        broken = [r for r in result.records if r.status == 500]
+        healthy = [r for r in result.records if r.status == 200]
+        assert broken and healthy
+        assert all(not record.ok for record in broken), (
+            "a 500 response must never count as a successful request"
+        )
+        assert all(record.ok for record in healthy)
+        summary = summarize(result)
+        assert summary["errors"] == len(broken)
+        assert summary["status_counts"]["500"] == len(broken)
+        assert summary["status_counts"]["200"] == len(healthy)

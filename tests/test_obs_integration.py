@@ -1,0 +1,308 @@
+"""End-to-end telemetry: pipeline spans, endpoints, fleet merge, CLI.
+
+The unit contracts live in ``test_obs_metrics.py``; this suite proves
+the wiring — detection Steps 1–4 (including the sharded engine's
+per-shard timings) record into the process registry, a serving worker
+exposes ``/v1/status`` + ``/v1/metrics``, the fleet supervisor merges
+per-worker registries over the control protocol and serves the merged
+view on its control port, and the ``repro status`` / ``detect --stats``
+CLI surfaces render it all.
+"""
+
+import datetime
+import json
+import socket
+import urllib.request
+
+import pytest
+
+from repro.core.detection import detect_with_index
+from repro.core.domainsets import build_index
+from repro.core.parallel import ShardedSubstrate
+from repro.dates import REFERENCE_DATE
+from repro.nettypes.prefix import Prefix
+from repro.obs.metrics import MetricsRegistry, split_key
+from repro.obs.tracing import (
+    get_registry,
+    record_stage,
+    set_enabled,
+    set_registry,
+    stage_table,
+    trace,
+    tracing_enabled,
+)
+from repro.publish import PublishedPair
+from repro.serving.http import make_server
+from repro.serving.index import SiblingLookupIndex
+from repro.serving.service import SiblingQueryService
+from repro.storage.index_io import append_index
+
+pytestmark = pytest.mark.obs
+
+needs_reuseport = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="serving fleet requires SO_REUSEPORT",
+)
+
+
+@pytest.fixture
+def fresh_registry():
+    """Install an empty process-wide registry; restore the old after."""
+    previous = set_registry(MetricsRegistry())
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)
+
+
+def _demo_index(generation: int = 0) -> SiblingLookupIndex:
+    pair = PublishedPair(
+        v4_prefix=Prefix.parse("192.0.2.0/24"),
+        v6_prefix=Prefix.parse("2001:db8::/32"),
+        jaccard=1.0,
+        shared_domains=3,
+        v4_domains=3,
+        v6_domains=3,
+        same_org=None,
+        rov_status=None,
+    )
+    return SiblingLookupIndex.from_pairs(
+        [pair], datetime.date(2024, 1, 1) + datetime.timedelta(days=generation)
+    )
+
+
+def _fetch(url: str) -> "tuple[int, str, str]":
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+# -- spans -------------------------------------------------------------------
+
+
+def test_trace_span_records(fresh_registry):
+    with trace("demo.stage", items=2, kind="unit") as span:
+        span.add_items(3)
+    snap = fresh_registry.snapshot()
+    assert snap["counters"]['stage.calls{kind="unit",stage="demo.stage"}'] == 1
+    assert snap["counters"]['stage.items{kind="unit",stage="demo.stage"}'] == 5
+    wall = snap["histograms"]['stage.wall_seconds{kind="unit",stage="demo.stage"}']
+    assert wall["count"] == 1 and wall["sum"] >= 0.0
+
+
+def test_disabled_tracing_is_noop(fresh_registry):
+    assert tracing_enabled()
+    previous = set_enabled(False)
+    try:
+        assert not tracing_enabled()
+        with trace("demo.stage"):
+            pass
+        record_stage("demo.stage", 1.0, 1.0)
+        snap = fresh_registry.snapshot()
+        assert not snap["counters"] and not snap["histograms"]
+    finally:
+        set_enabled(previous)
+
+
+def test_detect_records_pipeline_stages(fresh_registry, tiny_universe):
+    siblings, _ = detect_with_index(
+        tiny_universe.snapshot_at(REFERENCE_DATE),
+        tiny_universe.annotator_at(REFERENCE_DATE),
+    )
+    assert len(siblings) > 0
+    stages = {
+        split_key(key)[1]["stage"]
+        for key in fresh_registry.snapshot()["counters"]
+        if split_key(key)[0] == "stage.calls"
+    }
+    for stage in (
+        "step12.build_index",
+        "step12.columnarize",
+        "step3.accumulate",
+        "step4.select",
+        "step34.select",
+    ):
+        assert stage in stages, f"stage {stage!r} never recorded: {stages}"
+
+
+def test_sharded_engine_records_per_shard_timings(
+    fresh_registry, tiny_universe
+):
+    index = build_index(
+        tiny_universe.snapshot_at(REFERENCE_DATE),
+        tiny_universe.annotator_at(REFERENCE_DATE),
+    )
+    result = ShardedSubstrate(workers=2, min_pair_rows=0).select(index)
+    assert len(result) > 0
+    shards = {
+        split_key(key)[1]["shard"]
+        for key in fresh_registry.snapshot()["counters"]
+        if split_key(key)[0] == "stage.calls"
+        and split_key(key)[1].get("stage") == "step3.shard"
+    }
+    assert len(shards) >= 2, f"expected per-shard rows, got {shards}"
+
+
+def test_stage_table_renders_rows(fresh_registry):
+    assert stage_table(fresh_registry.snapshot()) == (
+        "no stage timings recorded"
+    )
+    record_stage("x.y", 0.5, 0.25, items=10)
+    record_stage("step3.shard", 0.1, 0.1, items=4, shard="1")
+    table = stage_table(fresh_registry.snapshot())
+    assert "wall_ms/call" in table
+    assert "x.y" in table
+    assert "step3.shard [shard=1]" in table
+
+
+def test_detect_stats_cli(fresh_registry, capsys):
+    from repro.cli import main
+
+    assert main(["detect", "--scenario", "tiny", "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "step3.accumulate" in err
+    assert "wall_ms/call" in err
+
+
+# -- worker endpoints --------------------------------------------------------
+
+
+def test_worker_status_and_metrics_endpoints():
+    service = SiblingQueryService(_demo_index(), registry=MetricsRegistry())
+    with make_server(service, port=0) as server:
+        server.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+
+        status_code, content_type, body = _fetch(base + "/v1/status")
+        assert status_code == 200 and content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["fleet"] is None
+        assert payload["worker"]["pid"] > 0
+        assert payload["worker"]["uptime_seconds"] >= 0.0
+        assert payload["service"]["generation"] == service.generation
+
+        _fetch(base + "/v1/lookup?ip=192.0.2.7")
+        status_code, content_type, text = _fetch(base + "/v1/metrics")
+        assert status_code == 200 and content_type.startswith("text/plain")
+        assert "repro_serve_lookups_total 1" in text.splitlines()
+        assert "repro_serve_generation" in text
+        assert "repro_serve_uptime_seconds" in text
+
+
+def test_service_metrics_count_hits_misses_and_errors():
+    registry = MetricsRegistry()
+    service = SiblingQueryService(_demo_index(), registry=registry)
+    service.lookup("192.0.2.7")
+    service.lookup("192.0.2.7")  # cached answer
+    service.batch(["192.0.2.7", "203.0.113.9"])
+    with pytest.raises(Exception):
+        service.lookup("not-an-address")
+    service.observe_gauges()
+    snap = registry.snapshot()
+    assert snap["counters"]["serve.lookups"] == 3
+    assert snap["counters"]["serve.query_errors"] == 1
+    assert snap["counters"]["serve.batches"] == 1
+    assert snap["counters"]["serve.batch_items"] == 2
+    assert snap["counters"]["serve.cache_hits"] >= 1
+    assert snap["gauges"]["serve.generation"] == float(service.generation)
+
+
+# -- fleet aggregation -------------------------------------------------------
+
+
+@needs_reuseport
+def test_fleet_merges_worker_registries(tmp_path):
+    from repro.serving.fleet import ServiceSource, ServingFleet
+
+    archive = tmp_path / "obs.sparch"
+    append_index(archive, _demo_index(0))
+    lookups = 10
+    with ServingFleet(ServiceSource.archive(archive), workers=2) as fleet:
+        fleet.start()
+        for _ in range(lookups):
+            _fetch(fleet.url + "/v1/lookup?ip=192.0.2.7")
+
+        data = fleet.metrics()
+        merged = data["merged"]
+        assert merged["counters"]["serve.lookups"] == lookups
+        assert merged["gauges"]["fleet.workers"] == 2.0
+        assert merged["gauges"]["fleet.workers_alive"] == 2.0
+        assert merged["gauges"]["fleet.restarts"] == 0.0
+        assert merged["gauges"]["fleet.swap_lag"] == 0.0
+        # Worker snapshots individually sum to the merged counter.
+        assert sum(
+            entry["metrics"]["counters"].get("serve.lookups", 0)
+            for entry in data["workers"]
+        ) == lookups
+
+        status_code, _, body = _fetch(fleet.control_url + "/v1/status")
+        assert status_code == 200
+        status = json.loads(body)
+        assert status["generation"] >= 1
+        assert status["swap_lag"] == 0
+        for row in status["workers"]:
+            assert row["alive"] is True
+            assert row["restarts"] == 0
+            assert row["lag"] == 0
+
+        status_code, content_type, text = _fetch(
+            fleet.control_url + "/v1/metrics"
+        )
+        assert status_code == 200 and content_type.startswith("text/plain")
+        assert f"repro_serve_lookups_total {lookups}" in text.splitlines()
+        assert "repro_fleet_workers 2" in text.splitlines()
+
+
+@needs_reuseport
+def test_fleet_status_tracks_generation_after_swap(tmp_path):
+    from repro.serving.fleet import ServiceSource, ServingFleet
+
+    archive = tmp_path / "swap.sparch"
+    append_index(archive, _demo_index(0))
+    with ServingFleet(ServiceSource.archive(archive), workers=2) as fleet:
+        fleet.start()
+        append_index(archive, _demo_index(1))
+        acks = fleet.broadcast_swap()
+        assert len(acks) == 2
+        status = fleet.status()
+        assert status["generation"] == 2  # initial attach + one swap
+        assert status["swap_lag"] == 0
+        merged = fleet.metrics()["merged"]
+        assert merged["counters"]["serve.swaps"] == 2  # one per worker
+        assert merged["gauges"]["fleet.generation"] == 2.0
+
+
+# -- status CLI --------------------------------------------------------------
+
+
+@needs_reuseport
+def test_status_cli_fleet_and_worker_views(tmp_path, capsys):
+    from repro.cli import main
+    from repro.serving.fleet import ServiceSource, ServingFleet
+
+    archive = tmp_path / "cli.sparch"
+    append_index(archive, _demo_index(0))
+    with ServingFleet(ServiceSource.archive(archive), workers=2) as fleet:
+        fleet.start()
+        assert main(["status", fleet.control_url]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out and "slot" in out and "restarts" in out
+
+        assert main(["status", fleet.control_url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["workers"]) == 2
+
+        assert main(["status", fleet.url]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("worker pid=")
+
+
+def test_status_cli_unreachable_is_exit_2(capsys):
+    from repro.cli import main
+
+    assert main(["status", "http://127.0.0.1:1", "--timeout", "0.5"]) == 2
+    assert "error" in capsys.readouterr().err

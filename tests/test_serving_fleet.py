@@ -292,6 +292,16 @@ def test_restarted_worker_attaches_newest_generation(tmp_path):
         replacement = status["workers"][victim["slot"]]
         assert replacement["pid"] != victim["pid"]
         assert replacement["snapshot"] == _snapshot_of(1)
+        # The restart is attributed to the killed slot, and the
+        # replacement rejoined current (no swap lag).
+        assert replacement["restarts"] >= 1
+        assert replacement["lag"] == 0
+        untouched = [
+            worker
+            for worker in status["workers"]
+            if worker["slot"] != victim["slot"]
+        ]
+        assert all(worker["restarts"] == 0 for worker in untouched)
 
 
 def test_fleet_serves_on_one_port_across_workers(tmp_path):
@@ -319,6 +329,15 @@ def test_fleet_serves_on_one_port_across_workers(tmp_path):
         status = fleet.status()
         assert len(status["workers"]) == FLEET_WORKERS
         assert all(worker["alive"] for worker in status["workers"])
+        # Telemetry keys: a freshly started fleet has zero restarts and
+        # zero swap lag, and every row reports its generation.
+        assert status["swap_lag"] == 0
+        assert status["uptime_seconds"] > 0.0
+        assert status["control_port"] is not None
+        for worker in status["workers"]:
+            assert worker["restarts"] == 0
+            assert worker["lag"] == 0
+            assert worker["generation"] == status["generation"]
 
 
 def test_serve_series_fleet_pipeline(tmp_path, tiny_universe):

@@ -19,11 +19,15 @@ field.
 
 import datetime
 import json
+import re
 import threading
 import time
 from http.client import HTTPConnection
 
+import pytest
+
 from repro.nettypes.prefix import Prefix
+from repro.obs.metrics import MetricsRegistry
 from repro.publish import PublishedPair
 from repro.serving.http import make_server
 from repro.serving.index import SiblingLookupIndex
@@ -224,6 +228,107 @@ def test_http_batches_never_mix_generations_under_swap_storm():
 
     assert not errors, errors[:5]
     assert all(done >= 1 for done in batches_done)
+    assert service.generation == GENERATIONS + 1
+
+
+@pytest.mark.obs
+def test_metrics_scrape_never_blocks_swap_storm():
+    """A ``/v1/metrics`` scraper hammering the server through a
+    40-generation swap storm: every scrape answers 200 with coherent
+    Prometheus text, the lookup counter is monotonic across scrapes,
+    and the storm finishes on schedule — the scrape path holds no lock
+    that a swap or a lookup needs (it snapshots, then renders from the
+    plain dict).
+
+    The service gets its own registry so counters from the other storm
+    tests in this file (which share the process-default registry) can't
+    bleed into the coherence assertions.
+    """
+    service = SiblingQueryService(
+        _make_index(0), cache_size=64, registry=MetricsRegistry()
+    )
+    errors: list[str] = []
+    scrape_counts: list[int] = []
+    publisher_done = threading.Event()
+
+    with make_server(service, port=0) as server:
+        server.start()
+        host, port = server.server_address[:2]
+
+        def lookup_client() -> None:
+            connection = HTTPConnection(host, port, timeout=10)
+            try:
+                while True:
+                    last = publisher_done.is_set()
+                    connection.request(
+                        "GET", "/v1/lookup?ip=" + QUERIES[0]
+                    )
+                    connection.getresponse().read()
+                    if last:
+                        break
+            finally:
+                connection.close()
+
+        def scraper() -> None:
+            connection = HTTPConnection(host, port, timeout=10)
+            try:
+                while True:
+                    last = publisher_done.is_set()
+                    connection.request("GET", "/v1/metrics")
+                    response = connection.getresponse()
+                    text = response.read().decode("utf-8")
+                    if response.status != 200:
+                        errors.append(f"scrape got {response.status}")
+                    match = re.search(
+                        r"^repro_serve_lookups_total (\d+)$", text, re.M
+                    )
+                    if match is None:
+                        errors.append("scrape lacks the lookup counter")
+                    else:
+                        scrape_counts.append(int(match.group(1)))
+                    swaps = re.search(
+                        r"^repro_serve_swaps_total (\d+)$", text, re.M
+                    )
+                    if swaps is None or int(swaps.group(1)) > GENERATIONS:
+                        errors.append(f"incoherent swap counter: {swaps}")
+                    if last:
+                        break
+            finally:
+                connection.close()
+
+        def publisher() -> None:
+            for generation in range(1, GENERATIONS + 1):
+                service.swap(_make_index(generation))
+                time.sleep(0.002)
+            publisher_done.set()
+
+        threads = [
+            threading.Thread(target=lookup_client),
+            threading.Thread(target=scraper),
+        ]
+        for thread in threads:
+            thread.start()
+        started = time.monotonic()
+        publisher_thread = threading.Thread(target=publisher)
+        publisher_thread.start()
+        publisher_thread.join(timeout=60)
+        storm_elapsed = time.monotonic() - started
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not publisher_thread.is_alive() and not any(
+            thread.is_alive() for thread in threads
+        ), "scrape storm threads did not finish"
+
+    assert not errors, errors[:5]
+    assert len(scrape_counts) >= 5, "scraper barely ran"
+    assert scrape_counts == sorted(scrape_counts), (
+        "lookup counter went backwards across scrapes"
+    )
+    # The storm sleeps 2ms x GENERATIONS between swaps; anything wildly
+    # above that means a scrape held the swap path up.
+    assert storm_elapsed < 30, (
+        f"swap storm took {storm_elapsed:.1f}s with a concurrent scraper"
+    )
     assert service.generation == GENERATIONS + 1
 
 
