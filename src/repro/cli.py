@@ -19,6 +19,13 @@ Subcommands:
   (``--status-port`` places the fleet's control-plane endpoints).
 * ``status``     — fetch and render a serving endpoint's ``/v1/status``
   (fleet or single worker view).
+* ``watch``      — the streaming ingestion daemon: tail a directory of
+  snapshot files, roll each new snapshot through the incremental
+  pipeline, append the generation to a ``.sparch`` archive, and
+  hot-swap the (optionally HTTP-served) query service.
+* ``archive``    — operate on a ``.sparch`` archive: ``verify`` scrubs
+  every segment CRC, ``repair`` truncates a torn tail back to the last
+  committed generation.
 
 ``detect`` and ``detect-series`` accept ``--stats`` to print the
 per-stage wall/CPU timing table (Steps 1-4, per-shard) recorded by the
@@ -184,6 +191,76 @@ def _build_parser() -> argparse.ArgumentParser:
         "/v1/metrics endpoints (0 = pick a free port; single-worker "
         "serving exposes them on the main port instead)",
     )
+
+    watch = sub.add_parser(
+        "watch", help="stream snapshots from a directory into an archive"
+    )
+    watch.add_argument(
+        "directory",
+        help="snapshot source directory to tail (one JSON snapshot file "
+        "per date; see repro.analysis.watch.write_snapshot_file)",
+    )
+    watch.add_argument(
+        "--archive",
+        metavar="PATH",
+        required=True,
+        help="the .sparch archive to append generations to (created if "
+        "missing, repaired if a previous run crashed mid-append)",
+    )
+    watch.add_argument(
+        "--scenario",
+        default="tiny",
+        help="scenario preset supplying the per-date routing annotators",
+    )
+    watch.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="seconds between source polls when idle",
+    )
+    watch.add_argument(
+        "--budget",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-generation latency budget in seconds; overruns are "
+        "counted on watch.budget_overruns (0 disables)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="drain the currently visible backlog and exit (replay mode)",
+    )
+    watch.add_argument(
+        "--max-generations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after appending N new generations",
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="also serve lookups plus /v1/status and /v1/metrics over "
+        "HTTP on this port (0 = pick a free port; omit to run headless)",
+    )
+    _add_substrate_options(watch)
+
+    archive = sub.add_parser(
+        "archive", help="verify or repair a .sparch snapshot archive"
+    )
+    archive.add_argument(
+        "op",
+        choices=("verify", "repair"),
+        help="verify: CRC-scrub every segment (torn archives are "
+        "rejected); repair: scan backward for the last committed footer "
+        "and truncate the torn tail",
+    )
+    archive.add_argument("path", help="the .sparch archive file")
 
     status = sub.add_parser(
         "status", help="fetch and render a serving endpoint's /v1/status"
@@ -565,6 +642,106 @@ def _serve_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """The ``repro watch`` body: snapshots → archive → hot-swap."""
+    from repro.analysis.watch import SnapshotDirectorySource, SnapshotWatcher
+    from repro.serving.http import make_server
+    from repro.serving.service import SiblingQueryService
+    from repro.storage.format import ArchiveFormatError
+    from repro.synth import build_universe
+
+    directory = args.directory
+    import pathlib
+
+    if not pathlib.Path(directory).is_dir():
+        print(f"error: {directory!r} is not a directory", file=sys.stderr)
+        return 2
+    universe = build_universe(args.scenario)
+    service = SiblingQueryService()
+    try:
+        watcher = SnapshotWatcher(
+            SnapshotDirectorySource(directory),
+            universe.annotator_at,
+            args.archive,
+            service=service,
+            substrate=args.substrate,
+            workers=args.workers,
+            budget_seconds=args.budget or None,
+            poll_interval=args.poll_interval,
+        )
+    except ArchiveFormatError as exc:
+        print(f"error: {args.archive!r}: {exc}", file=sys.stderr)
+        return 2
+    server = None
+    if args.port is not None:
+        try:
+            server = make_server(service, args.host, args.port).start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        server.status_extras["watch"] = watcher.status
+        bound_host, bound_port = server.server_address[:2]
+        print(
+            f"serving lookups and watch status on "
+            f"http://{bound_host}:{bound_port}/v1/",
+            file=sys.stderr,
+        )
+    print(
+        f"watching {directory} into {args.archive} "
+        f"({watcher.generations} generations committed)",
+        file=sys.stderr,
+    )
+    try:
+        appended = watcher.run(
+            once=args.once, max_generations=args.max_generations
+        )
+        print(f"appended {appended} generations", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("\nshutting down watch", file=sys.stderr)
+    finally:
+        if server is not None:
+            server.close()
+    if args.stats:
+        _print_stage_stats()
+    return 0
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    """The ``repro archive`` body: verify / repair a ``.sparch`` file."""
+    import os
+
+    from repro.storage.archive import ArchiveReader, ArchiveWriter
+    from repro.storage.format import ArchiveFormatError
+
+    try:
+        if args.op == "verify":
+            with ArchiveReader.open(args.path) as reader:
+                checked = reader.verify()
+                print(
+                    f"ok: {len(reader.generations)} generations, "
+                    f"{checked} segments CRC-verified"
+                )
+            return 0
+        before = os.path.getsize(args.path)
+        with ArchiveWriter.open(args.path, recover=True) as writer:
+            generations = len(writer.generation_dates)
+        after = os.path.getsize(args.path)
+        if after < before:
+            print(
+                f"repaired: truncated {before - after} torn bytes; "
+                f"{generations} committed generations retained"
+            )
+        else:
+            print(f"clean: {generations} committed generations, no torn tail")
+    except (ArchiveFormatError, OSError) as exc:
+        print(f"error: {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     """Fetch ``/v1/status`` and render a fleet or worker view."""
     import json
@@ -649,6 +826,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_lookup(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "archive":
+        return _cmd_archive(args)
     if args.command == "status":
         return _cmd_status(args)
     raise SystemExit(f"unknown command {args.command!r}")

@@ -72,9 +72,12 @@ class ManagedHTTPServer(ThreadingHTTPServer):
         """Serve in a background thread; returns ``self`` for chaining."""
         if self._serve_thread is not None and self._serve_thread.is_alive():
             raise RuntimeError("server already started")
+        # Daemon: an embedder that exits without close() must not hang
+        # the interpreter on a live accept loop.
         self._serve_thread = threading.Thread(
             target=self.serve_forever,
             name=f"{self.thread_prefix}-{self.server_address[1]}",
+            daemon=True,
         )
         self._serve_thread.start()
         return self
@@ -84,12 +87,21 @@ class ManagedHTTPServer(ThreadingHTTPServer):
 
         Idempotent; safe on a server that was bound but never started
         (``shutdown`` is only called when the serve thread is live, so
-        close never blocks on the never-set shutdown event).
+        close never blocks on the never-set shutdown event).  A serve
+        thread that fails to stop within the join timeout raises
+        :class:`RuntimeError` — the socket is still released, but the
+        wedged thread must not be silently leaked.
         """
         thread = self._serve_thread
         if thread is not None and thread.is_alive():
             self.shutdown()
             thread.join(timeout=10)
+            if thread.is_alive():
+                self._serve_thread = None
+                self.server_close()
+                raise RuntimeError(
+                    f"serve thread {thread.name!r} did not stop within 10s"
+                )
         self._serve_thread = None
         self.server_close()
 
@@ -109,6 +121,10 @@ class SiblingHTTPServer(ManagedHTTPServer):
         #: Extra identity keys (e.g. the fleet worker slot) merged into
         #: this server's ``/v1/status`` worker view.
         self.worker_info: dict = {}
+        #: name → zero-arg callable; each is invoked per ``/v1/status``
+        #: request and its JSON-able result merged in as a top-level key
+        #: (the seam ``repro watch`` uses to surface its loop state).
+        self.status_extras: dict = {}
         self._serve_thread: threading.Thread | None = None
         super().__init__(address, SiblingRequestHandler)
 
@@ -158,7 +174,14 @@ class SiblingRequestHandler(BaseHTTPRequestHandler):
             "generation": service.generation,
         }
         worker.update(self.server.worker_info)
-        return {"fleet": None, "worker": worker, "service": service.snapshot_info()}
+        payload = {
+            "fleet": None,
+            "worker": worker,
+            "service": service.snapshot_info(),
+        }
+        for name, provider in self.server.status_extras.items():
+            payload[name] = provider()
+        return payload
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
         """Dispatch ``/v1/batch``.
@@ -185,8 +208,15 @@ class SiblingRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._reply(400, {"error": f"body too large (> {MAX_BODY_BYTES} bytes)"})
             return
+        body = self.rfile.read(length)
+        if len(body) < length:
+            # Client died mid-body: the connection's framing is gone, so
+            # any reply must not be followed by another request on it.
+            self.close_connection = True
+            self._reply(400, {"error": "truncated request body"})
+            return
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._reply(400, {"error": f"malformed JSON body: {exc}"})
             return

@@ -65,6 +65,7 @@ from repro.storage.format import (
     pack_footer,
     pack_header,
     read_footer,
+    scan_last_footer,
 )
 
 #: Conventional file extension, used by CLI help text only.
@@ -124,17 +125,34 @@ class ArchiveReader:
     mapped index built from one) is alive.
     """
 
-    def __init__(self, buffer: MappedBuffer):
+    def __init__(self, buffer: MappedBuffer, recover: bool = False):
         self._buffer = buffer
         self._validated: set[str] = set()
         view = buffer.view
         self.page_size = check_header(view)
-        offset, length, crc = read_footer(view)
+        #: File size at the last committed footer — ``len(view)`` for an
+        #: untorn archive, smaller when :attr:`recovered` a torn tail.
+        self.committed_end = len(view)
+        #: Whether a torn tail was skipped to reach the manifest.
+        self.recovered = False
+        try:
+            offset, length, crc = read_footer(view)
+            if crc32_view(view[offset:offset + length]) != crc:
+                raise ArchiveFormatError(
+                    "archive manifest checksum mismatch: file is corrupt"
+                )
+        except ArchiveFormatError:
+            if not recover:
+                raise
+            found = scan_last_footer(view)
+            if found is None:
+                raise ArchiveFormatError(
+                    "no committed generation to recover: the archive has "
+                    "no valid footer anywhere"
+                ) from None
+            offset, length, crc, self.committed_end = found
+            self.recovered = self.committed_end != len(view)
         manifest_view = view[offset:offset + length]
-        if crc32_view(manifest_view) != crc:
-            raise ArchiveFormatError(
-                "archive manifest checksum mismatch: file is corrupt"
-            )
         try:
             manifest = json.loads(bytes(manifest_view).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -156,13 +174,22 @@ class ArchiveReader:
             raise ArchiveFormatError(f"malformed archive manifest: {exc}") from exc
 
     @classmethod
-    def open(cls, path: "str | pathlib.Path") -> "ArchiveReader":
+    def open(
+        cls, path: "str | pathlib.Path", recover: bool = False
+    ) -> "ArchiveReader":
         """Map *path* and validate its manifest; raises
-        :class:`ArchiveFormatError` on anything suspect."""
+        :class:`ArchiveFormatError` on anything suspect.
+
+        With ``recover=True`` a torn tail (crash mid-append) is skipped
+        by scanning backward for the last committed footer instead of
+        rejecting the archive; :attr:`recovered` reports whether that
+        happened and :attr:`committed_end` where the commit ends.  The
+        mapped file is *not* modified — truncation is the writer's job.
+        """
         with trace("archive.attach"):
             buffer = MappedBuffer(path)
             try:
-                return cls(buffer)
+                return cls(buffer, recover=recover)
             except ArchiveFormatError:
                 buffer.close()
                 raise
@@ -197,6 +224,12 @@ class ArchiveReader:
             )
             if len(payload):
                 names.extend(bytes(payload).decode("utf-8").split("\n"))
+            else:
+                # Legacy archives written before append_pool rejected
+                # empty names: a single "" joins to a zero-length
+                # payload.  (Two or more empty names still produce the
+                # "\n" separators, so only count == 1 can land here.)
+                names.extend([""] * int(entry.get("count", 0)))
         if len(names) != self.pool_count:
             raise ArchiveFormatError(
                 f"domain pool holds {len(names)} names but the manifest "
@@ -273,8 +306,19 @@ class ArchiveWriter:
         )
 
     @classmethod
-    def open(cls, path: "str | pathlib.Path") -> "ArchiveWriter":
-        """Open *path* for appending, creating a fresh archive if absent."""
+    def open(
+        cls, path: "str | pathlib.Path", recover: bool = True
+    ) -> "ArchiveWriter":
+        """Open *path* for appending, creating a fresh archive if absent.
+
+        Recovery is the *default*: a torn tail left by a crash between
+        segment writes and :meth:`commit` (or by a truncated copy) is
+        located by the backward footer scan and the file is truncated
+        back to the committed end before appending resumes — so kill -9
+        at any point costs only the uncommitted tail, never the archive.
+        Pass ``recover=False`` to reject a torn archive instead (the
+        conservative mode ``repro archive verify`` relies on).
+        """
         path = pathlib.Path(path)
         if not path.exists():
             manifest = {
@@ -288,13 +332,41 @@ class ArchiveWriter:
             writer = cls(path, manifest, PAGE_SIZE)
             writer._dirty = True  # force a manifest+footer even if empty
             return writer
-        with ArchiveReader.open(path) as reader:
-            manifest = reader.manifest
-            # Appends go after the current manifest; the old footer
-            # bytes are simply abandoned inside the next alignment gap.
-            offset, length, _crc = read_footer(reader._buffer.view)
-            end = offset + length + FOOTER.size
-        return cls(path, manifest, end)
+        try:
+            with ArchiveReader.open(path, recover=recover) as reader:
+                manifest = reader.manifest
+                # Appends go after the current manifest; the old footer
+                # bytes are simply abandoned inside the next alignment gap.
+                end = reader.committed_end
+                torn = reader.recovered
+            restarted = False
+        except ArchiveFormatError:
+            if not recover:
+                raise
+            # No committed footer anywhere.  If the header is intact
+            # this is a crash before the *first* commit — nothing was
+            # ever durable, so restart the archive empty.  Anything
+            # else (bad magic, foreign file) stays an error.
+            with MappedBuffer(path) as buffer:
+                check_header(buffer.view)
+            manifest = {
+                "format_version": 1,
+                "byte_order": sys.byteorder,
+                "page_size": PAGE_SIZE,
+                "pool": {"segments": [], "count": 0},
+                "generations": [],
+            }
+            end, torn, restarted = PAGE_SIZE, True, True
+        writer = cls(path, manifest, end)
+        if restarted:
+            writer._dirty = True  # restarted empty: commit a footer
+        if torn:
+            # Drop the torn tail now so a crash *during this session*
+            # cannot stack a second torn region behind the first.
+            writer._file.truncate(end)
+            writer._file.flush()
+            os.fsync(writer._file.fileno())
+        return writer
 
     # -- appending ------------------------------------------------------------
 
@@ -316,11 +388,15 @@ class ArchiveWriter:
         """
         names = list(names)
         if names:
-            payload = "\n".join(names).encode("utf-8")
             if any("\n" in name for name in names):
                 raise ArchiveFormatError(
                     "domain names must not contain newlines"
                 )
+            if any(not name for name in names):
+                # An all-empty batch joins to a zero-length payload the
+                # reader's count check would reject — refuse up front.
+                raise ArchiveFormatError("domain names must not be empty")
+            payload = "\n".join(names).encode("utf-8")
             pool = self._manifest["pool"]
             entry_name = f"pool.{len(pool['segments'])}"
             pool["segments"].append(

@@ -139,11 +139,70 @@ def read_footer(view) -> tuple[int, int, int]:
     if magic != FOOTER_MAGIC:
         raise ArchiveFormatError(
             "archive has no valid footer (torn append or truncation); "
-            "re-create the archive or restore from the previous copy"
+            "reopen with recover=True (or `repro archive repair`) to "
+            "truncate back to the last committed generation"
         )
     if offset + length > len(view) - FOOTER.size:
         raise ArchiveFormatError("archive footer points past end of file")
     return offset, length, crc
+
+
+def _footer_at(view, position: int) -> "tuple[int, int, int] | None":
+    """Parse and validate a footer candidate ending the commit at
+    *position*; ``None`` unless magic, adjacency, and manifest CRC all
+    hold."""
+    if position < PAGE_SIZE or position + FOOTER.size > len(view):
+        return None
+    magic, offset, length, crc, _reserved = FOOTER.unpack_from(view, position)
+    if magic != FOOTER_MAGIC:
+        return None
+    # The commit protocol writes manifest then footer back to back, so
+    # a genuine footer sits immediately after the manifest it points at.
+    # Adjacency rejects stale magic bytes that survive inside segment
+    # payloads or alignment gaps.
+    if offset < PAGE_SIZE or offset + length != position:
+        return None
+    if crc32_view(view[offset:offset + length]) != crc:
+        return None
+    return offset, length, crc
+
+
+#: Backward-scan chunk size; overlapped by ``len(FOOTER_MAGIC) - 1`` so
+#: a magic straddling a chunk boundary is still found.
+_SCAN_CHUNK = 1 << 20
+
+
+def scan_last_footer(view) -> "tuple[int, int, int, int] | None":
+    """Find the newest committed footer anywhere in *view*.
+
+    The recovery primitive behind ``ArchiveReader.open(..., recover=True)``:
+    a crash between segment writes and :func:`pack_footer` leaves a torn
+    tail *after* the last committed footer, so scanning backward for the
+    newest ``FOOTER_MAGIC`` whose manifest adjacency and CRC both check
+    out recovers every committed generation.  Returns ``(manifest
+    offset, manifest length, crc, committed end)`` — *committed end* is
+    the file size the last successful :meth:`ArchiveWriter.commit`
+    truncated to — or ``None`` when no valid footer exists (never
+    committed, or corrupted beyond the commit protocol's guarantees).
+    """
+    # Fast path: an untorn archive ends in its footer.
+    tail = len(view) - FOOTER.size
+    parsed = _footer_at(view, tail)
+    if parsed is not None:
+        return (*parsed, len(view))
+    overlap = len(FOOTER_MAGIC) - 1
+    high = len(view)  # exclusive search bound for magic start positions
+    while high > PAGE_SIZE:
+        low = max(PAGE_SIZE, high - _SCAN_CHUNK)
+        chunk = bytes(view[low:min(high + overlap, len(view))])
+        found = chunk.rfind(FOOTER_MAGIC)
+        while found != -1:
+            parsed = _footer_at(view, low + found)
+            if parsed is not None:
+                return (*parsed, low + found + FOOTER.size)
+            found = chunk.rfind(FOOTER_MAGIC, 0, found)
+        high = low
+    return None
 
 
 class MappedBuffer:
@@ -222,4 +281,5 @@ __all__ = [
     "pack_footer",
     "pack_header",
     "read_footer",
+    "scan_last_footer",
 ]

@@ -44,6 +44,7 @@ PERF_RESULT_FILES = (
     "archive_coldstart.txt",
     "serving_fleet.txt",
     "obs_overhead.txt",
+    "watch_replay.txt",
 )
 
 

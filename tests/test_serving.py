@@ -655,3 +655,67 @@ class TestServerLifecycle:
                     assert response.getheader("Connection") != "close"
             finally:
                 connection.close()
+
+    def test_serve_thread_is_daemon(self):
+        # An embedder that exits without close() must not hang the
+        # interpreter on a live accept loop.
+        with make_server(self._service(), port=0) as server:
+            server.start()
+            assert server._serve_thread is not None
+            assert server._serve_thread.daemon is True
+
+    def test_close_surfaces_wedged_serve_thread(self):
+        # A serve thread that outlives the join timeout must raise, not
+        # be silently leaked — but the socket is still released.
+        class _WedgedThread:
+            name = "wedged-serve-thread"
+
+            def is_alive(self):
+                return True
+
+            def join(self, timeout=None):
+                pass
+
+        server = make_server(self._service(), port=0).start()
+        port = server.server_address[1]
+        real_thread = server._serve_thread
+        server._serve_thread = _WedgedThread()
+        with pytest.raises(RuntimeError, match="did not stop"):
+            server.close()
+        # shutdown() did stop the real serve loop, and server_close()
+        # released the port despite the raise.
+        real_thread.join(timeout=10)
+        assert not real_thread.is_alive()
+        with make_server(self._service(), port=port) as reuse:
+            reuse.start()
+            status, _ = _get(f"http://127.0.0.1:{port}/v1/snapshot")
+            assert status == 200
+
+    def test_post_short_body_is_400_and_closes_connection(self):
+        # A client that dies mid-body leaves the connection unframed:
+        # the server must answer 400 and hang up rather than block on
+        # rfile.read() or parse stale bytes as the next request line.
+        import socket
+
+        with make_server(self._service(), port=0) as server:
+            server.start()
+            host, port = server.server_address[:2]
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(
+                    b"POST /v1/batch HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    b"Content-Length: 100\r\n"
+                    b"\r\n"
+                    b'{"queries": ['
+                )
+                sock.shutdown(socket.SHUT_WR)  # EOF before the full body
+                sock.settimeout(5)
+                response = b""
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:  # EOF: the server closed the connection
+                        break
+                    response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"truncated request body" in response

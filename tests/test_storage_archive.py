@@ -19,7 +19,10 @@ Three invariant families:
 """
 
 import datetime
+import pathlib
 import random
+import subprocess
+import sys
 
 import pytest
 from hypothesis import given, settings
@@ -498,3 +501,207 @@ class TestFormatRobustness:
 
     def test_crc32_view_is_plain_crc(self):
         assert crc32_view(memoryview(b"abc")) == crc32_view(b"abc")
+
+    def test_empty_pool_names_rejected_at_append(self, tmp_path):
+        path = tmp_path / "pool.sparch"
+        with ArchiveWriter.open(path) as writer:
+            with pytest.raises(ArchiveFormatError, match="empty"):
+                writer.append_pool(["ok.example", ""])
+            writer.append_pool(["ok.example"])
+        with ArchiveReader.open(path) as reader:
+            assert reader.pool_names() == ["ok.example"]
+
+    def test_legacy_empty_pool_payload_tolerated_on_read(self, tmp_path):
+        """An archive written before the empty-name guard (one ``""``
+        name joins to a zero-length payload) must still read back."""
+        path = tmp_path / "legacy.sparch"
+        writer = ArchiveWriter.open(path)
+        pool = writer._manifest["pool"]
+        pool["segments"].append(
+            {"name": "pool.0", "count": 1,
+             "segment": writer._append_segment(b"")}
+        )
+        pool["count"] = 1
+        writer.close()
+        with ArchiveReader.open(path) as reader:
+            assert reader.pool_names() == [""]
+
+
+# -- crash recovery ----------------------------------------------------------
+
+#: Child-process body for the SIGKILL crash-point matrix: append one
+#: generation and die at a named point of the append/commit protocol.
+#: Writes are flushed + fsynced before the kill, so the on-disk state
+#: at death is exactly the named crash point, not an OS buffering
+#: accident.
+_CRASH_CHILD = """
+import json, os, signal, sys
+sys.path.insert(0, sys.argv[3])
+from repro.storage.archive import ArchiveWriter
+from repro.storage.format import align_up, crc32_view, pack_footer
+
+path, point = sys.argv[1], sys.argv[2]
+writer = ArchiveWriter.open(path)
+
+def die():
+    writer._file.flush()
+    os.fsync(writer._file.fileno())
+    os.kill(os.getpid(), signal.SIGKILL)
+
+writer._append_segment(b"A" * 5000)
+if point == "after_segment_1":
+    die()
+writer.append_generation(
+    "2024-09-12", {"x.blob": b"x" * 3000, "y.blob": b"y" * 50}, {"demo": {}}
+)
+if point == "after_segment_2":
+    die()
+payload = json.dumps(writer._manifest, separators=(",", ":")).encode("utf-8")
+offset = align_up(writer._end)
+writer._file.seek(offset)
+writer._file.write(payload)
+if point == "after_manifest":
+    die()
+footer = pack_footer(offset, len(payload), crc32_view(payload))
+writer._file.write(footer[: len(footer) // 2])
+if point == "mid_footer":
+    die()
+"""
+
+CRASH_POINTS = (
+    "after_segment_1", "after_segment_2", "after_manifest", "mid_footer"
+)
+
+
+class TestCrashRecovery:
+    """kill -9 mid-append must never cost a committed generation."""
+
+    def _committed_archive(self, tmp_path) -> tuple[pathlib.Path, bytes]:
+        path = tmp_path / "crash.sparch"
+        publish.write_archive(make_pairs(25), path, datetime.date(2024, 9, 11))
+        return path, path.read_bytes()
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_sigkill_matrix_recovers_last_committed(self, tmp_path, point):
+        path, committed = self._committed_archive(tmp_path)
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        child = subprocess.run(
+            [sys.executable, "-c", _CRASH_CHILD, str(path), point, str(src)],
+            capture_output=True,
+            timeout=60,
+        )
+        assert child.returncode == -9, child.stderr.decode()
+        assert path.stat().st_size > len(committed), "crash left no torn tail"
+
+        # Strict open rejects the torn tail; recover=True reads through
+        # it without modifying the file.
+        with pytest.raises(ArchiveFormatError):
+            ArchiveReader.open(path)
+        with ArchiveReader.open(path, recover=True) as reader:
+            assert reader.recovered
+            assert reader.committed_end == len(committed)
+            assert [g.date for g in reader.generations] == ["2024-09-11"]
+            assert reader.verify() > 0
+
+        # The writer's default recovery truncates, after which strict
+        # readers (and the serving layer) see exactly the committed
+        # generation — zero data loss.
+        with ArchiveWriter.open(path) as writer:
+            assert writer.generation_dates == ["2024-09-11"]
+        assert path.read_bytes() == committed
+        service = SiblingQueryService.from_archive(path)
+        assert service.index.snapshot == datetime.date(2024, 9, 11)
+        service.index.close()
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_append_after_recovery_commits_cleanly(self, tmp_path, point):
+        path, committed = self._committed_archive(tmp_path)
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        child = subprocess.run(
+            [sys.executable, "-c", _CRASH_CHILD, str(path), point, str(src)],
+            capture_output=True,
+            timeout=60,
+        )
+        assert child.returncode == -9, child.stderr.decode()
+        publish.write_archive(
+            make_pairs(30, seed=2), path, datetime.date(2024, 9, 12)
+        )
+        with ArchiveReader.open(path) as reader:
+            assert not reader.recovered
+            assert [g.date for g in reader.generations] == [
+                "2024-09-11", "2024-09-12",
+            ]
+            assert reader.verify() > 0
+
+    def test_truncation_sweep_recovers_prefix(self, tmp_path):
+        """Deterministic byte-level matrix: for every sampled cut point
+        between commit N and commit N+1, recovery yields exactly the
+        generations of commit N."""
+        path = tmp_path / "sweep.sparch"
+        publish.write_archive(make_pairs(10, seed=1), path, datetime.date(2024, 9, 10))
+        first = len(path.read_bytes())
+        publish.write_archive(make_pairs(15, seed=2), path, datetime.date(2024, 9, 11))
+        data = path.read_bytes()
+        second = len(data)
+
+        cuts = sorted(
+            {
+                first, first + 1, first + 17,
+                min(first + 4096, second - 1),
+                (first + second) // 2,
+                second - FOOTER.size - 1, second - FOOTER.size,
+                second - FOOTER.size + 1, second - 1,
+            }
+        )
+        for cut in cuts:
+            assert first <= cut < second
+            torn = tmp_path / f"cut{cut}.sparch"
+            torn.write_bytes(data[:cut])
+            with ArchiveReader.open(torn, recover=True) as reader:
+                assert reader.committed_end == first, cut
+                assert reader.recovered == (cut != first), cut
+                assert [g.date for g in reader.generations] == ["2024-09-10"], cut
+                assert reader.verify() > 0
+            with ArchiveWriter.open(torn):
+                pass
+            assert len(torn.read_bytes()) == first, cut
+
+    def test_headerless_and_never_committed_files(self, tmp_path):
+        # A header-only file (crash before the first commit): the
+        # reader has nothing to recover; the writer restarts it empty.
+        from repro.storage.format import pack_header
+
+        fresh = tmp_path / "fresh.sparch"
+        fresh.write_bytes(pack_header() + b"\x55" * 300)
+        with pytest.raises(ArchiveFormatError, match="no valid footer"):
+            ArchiveReader.open(fresh, recover=True)
+        with ArchiveWriter.open(fresh) as writer:
+            assert writer.generation_dates == []
+        with ArchiveReader.open(fresh) as reader:
+            assert reader.generations == []
+
+        # Garbage never becomes a fresh archive, even with recovery on.
+        garbage = tmp_path / "garbage.sparch"
+        garbage.write_bytes(b"\x13" * 8192)
+        with pytest.raises(ArchiveFormatError):
+            ArchiveWriter.open(garbage)
+
+    def test_recover_ignores_footer_magic_inside_segments(self, tmp_path):
+        """Payload bytes that *look* like a footer (magic inside a
+        segment) must not fool the backward scan — adjacency and CRC
+        validation reject them."""
+        from repro.storage.format import FOOTER_MAGIC, pack_footer
+
+        path = tmp_path / "decoy.sparch"
+        decoy = FOOTER_MAGIC + pack_footer(4096, 11, 7) + FOOTER_MAGIC
+        with ArchiveWriter.open(path) as writer:
+            writer.append_generation(
+                "2024-09-11", {"decoy.blob": decoy * 3}, {"demo": {}}
+            )
+        committed = path.read_bytes()
+        with open(path, "ab") as stream:
+            stream.write(b"\x00" * 128)  # torn tail
+        with ArchiveReader.open(path, recover=True) as reader:
+            assert reader.recovered
+            assert reader.committed_end == len(committed)
+            assert [g.date for g in reader.generations] == ["2024-09-11"]

@@ -1,0 +1,453 @@
+"""``repro watch``: the streaming ingestion daemon.
+
+The contract under test: feeding snapshot files through a
+:class:`~repro.analysis.watch.SnapshotWatcher` produces an archive
+bit-equal (pair-wise) to a batch ``detect_series`` run over the same
+dates, survives kill -9 at any point with zero loss of committed
+generations, replays idempotently, hot-swaps an attached query service
+only when the pairs actually changed, and surfaces its loop state on
+``/v1/status`` through the server's ``status_extras`` seam.
+
+The SIGKILL-replay stress at the bottom runs the watcher in a child
+process and murders it on a schedule of delays — after every kill the
+archive must recover to a committed prefix of the expected series, and
+a final clean run must converge to the full series.  It rides in the
+blocking fleet-stress CI job next to the fleet supervisor tests.
+"""
+
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from test_incremental_pipeline import (
+    BASE_DATE,
+    SeriesShim,
+    make_annotator,
+    snapshot_from_table,
+)
+
+from repro.analysis.pipeline import detect_series
+from repro.analysis.watch import (
+    MAX_PARSE_RETRIES,
+    SnapshotDirectorySource,
+    SnapshotWatcher,
+    WatchError,
+    read_snapshot_file,
+    write_snapshot_file,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.http import make_server
+from repro.serving.service import SiblingQueryService
+from repro.storage import substrate_io
+from repro.storage.archive import ArchiveReader
+
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+TESTS_DIR = pathlib.Path(__file__).resolve().parent
+
+# Four dates of hand-picked churn: growth, renumber, a quiet repeat
+# (same table twice — the pairs do not change, so the watcher must
+# skip the swap), then a shrink.
+_TABLES = [
+    {
+        "a.example": ({(0, 1)}, {(0, 1)}),
+        "b.example": ({(1, 2)}, {(1, 2)}),
+        "c.example": ({(2, 3)}, set()),
+    },
+    {
+        "a.example": ({(0, 1)}, {(0, 1)}),
+        "b.example": ({(1, 2)}, {(1, 2)}),
+        "c.example": ({(2, 3)}, {(2, 3)}),
+        "d.example": ({(3, 4)}, {(3, 4)}),
+    },
+    {
+        "a.example": ({(0, 1)}, {(0, 1)}),
+        "b.example": ({(1, 2)}, {(1, 2)}),
+        "c.example": ({(2, 3)}, {(2, 3)}),
+        "d.example": ({(3, 4)}, {(3, 4)}),
+    },
+    {
+        "a.example": ({(0, 9)}, {(0, 9)}),
+        "d.example": ({(3, 4)}, {(3, 4)}),
+    },
+]
+
+
+def _series():
+    return [
+        snapshot_from_table(BASE_DATE + datetime.timedelta(days=i), table)
+        for i, table in enumerate(_TABLES)
+    ]
+
+
+def _expected():
+    snapshots = _series()
+    shim = SeriesShim(snapshots)
+    return detect_series(shim, [s.date for s in snapshots], incremental=True)
+
+
+def _archived_siblings(path):
+    """date → SiblingSet for every committed generation in *path*."""
+    with ArchiveReader.open(path) as reader:
+        pool_names = reader.pool_names()
+        return {
+            date: substrate_io.load_siblings(generation, pool_names)
+            for date, generation in reader.generations_by_date(
+                substrate_io.SIBLINGS_KIND
+            ).items()
+        }
+
+
+def _make_watcher(feed_dir, archive, **kwargs):
+    annotator = make_annotator()
+    return SnapshotWatcher(
+        SnapshotDirectorySource(feed_dir),
+        lambda date: annotator,
+        archive,
+        **kwargs,
+    )
+
+
+class TestSnapshotFileCodec:
+    def test_round_trip(self, tmp_path):
+        for snapshot in _series():
+            path = write_snapshot_file(snapshot, tmp_path)
+            assert path.name == f"{snapshot.date.isoformat()}.json"
+            loaded = read_snapshot_file(path)
+            assert loaded.date == snapshot.date
+            original = {
+                o.domain: (o.v4_addresses, o.v6_addresses)
+                for o in snapshot.observations()
+            }
+            round_tripped = {
+                o.domain: (o.v4_addresses, o.v6_addresses)
+                for o in loaded.observations()
+            }
+            assert round_tripped == original
+        # The atomic-write scratch files never survive.
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob(".*.tmp"))
+
+    def test_rejects_garbage_and_bad_schema(self, tmp_path):
+        bad = tmp_path / "2024-09-01.json"
+        bad.write_text("{not json")
+        with pytest.raises(WatchError, match="cannot read"):
+            read_snapshot_file(bad)
+        bad.write_text(json.dumps({"format_version": 99, "date": "2024-09-01", "observations": []}))
+        with pytest.raises(WatchError, match="version"):
+            read_snapshot_file(bad)
+        bad.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "date": "2024-09-01",
+                    "observations": [
+                        {"domain": "x.example", "v4": ["2001:db8::1"], "v6": []}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(WatchError, match="not IPv4"):
+            read_snapshot_file(bad)
+        bad.write_text(json.dumps({"format_version": 1, "date": "2024-09-01"}))
+        with pytest.raises(WatchError, match="malformed"):
+            read_snapshot_file(bad)
+
+
+class TestDirectorySource:
+    def test_consumes_each_file_once_in_date_order(self, tmp_path):
+        snapshots = _series()
+        # Written newest-first: poll must still yield date order.
+        for snapshot in reversed(snapshots):
+            write_snapshot_file(snapshot, tmp_path)
+        source = SnapshotDirectorySource(tmp_path)
+        assert source.backlog() == len(snapshots)
+        polled = source.poll()
+        assert [s.date for s in polled] == [s.date for s in snapshots]
+        assert source.poll() == []
+        assert source.backlog() == 0
+
+    def test_bad_file_retried_then_abandoned(self, tmp_path):
+        bad = tmp_path / "2024-09-01.json"
+        bad.write_text("{half a snapsh")
+        source = SnapshotDirectorySource(tmp_path)
+        for attempt in range(1, MAX_PARSE_RETRIES + 1):
+            assert source.poll() == []
+            assert source.errors == attempt
+        # Abandoned: no further attempts, no further errors.
+        assert source.poll() == []
+        assert source.errors == MAX_PARSE_RETRIES
+        assert source.backlog() == 0
+
+    def test_bad_file_recovering_before_giveup_is_consumed(self, tmp_path):
+        snapshot = _series()[0]
+        bad = tmp_path / f"{snapshot.date.isoformat()}.json"
+        bad.write_text("")
+        source = SnapshotDirectorySource(tmp_path)
+        assert source.poll() == []
+        assert source.errors == 1
+        write_snapshot_file(snapshot, tmp_path)  # the writer finished
+        polled = source.poll()
+        assert [s.date for s in polled] == [snapshot.date]
+
+
+class TestWatcher:
+    def test_matches_detect_series(self, tmp_path):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        for snapshot in _series():
+            write_snapshot_file(snapshot, feed)
+        archive = tmp_path / "watch.sparch"
+        registry = MetricsRegistry()
+        watcher = _make_watcher(feed, archive, registry=registry)
+        appended = watcher.run(once=True)
+        expected = _expected()
+        assert appended == len(expected)
+        archived = _archived_siblings(archive)
+        assert sorted(archived) == [date.isoformat() for date, _ in expected]
+        for date, siblings in expected:
+            assert archived[date.isoformat()].same_pairs(siblings)
+        assert registry.counter("watch.generations").value == appended
+        assert registry.counter("watch.snapshots").value == len(expected)
+
+    def test_replay_is_idempotent(self, tmp_path):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        for snapshot in _series():
+            write_snapshot_file(snapshot, feed)
+        archive = tmp_path / "watch.sparch"
+        assert _make_watcher(feed, archive).run(once=True) == len(_TABLES)
+        before = archive.read_bytes()
+        # A fresh watcher (fresh source: every file is "new" again) must
+        # recognise every date as already committed and append nothing.
+        replay = _make_watcher(feed, archive)
+        assert replay.run(once=True) == 0
+        assert archive.read_bytes() == before
+
+    def test_hot_swap_skips_unchanged_pairs(self, tmp_path):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        for snapshot in _series():
+            write_snapshot_file(snapshot, feed)
+        archive = tmp_path / "watch.sparch"
+        registry = MetricsRegistry()
+        service = SiblingQueryService()
+        watcher = _make_watcher(
+            feed, archive, service=service, registry=registry
+        )
+        appended = watcher.run(once=True)
+        assert appended == len(_TABLES)
+        # Date 2 repeats date 1's table: same pairs, swap skipped — the
+        # service's generation counts real publishes only.
+        assert registry.counter("watch.swaps_skipped").value == 1
+        assert service.generation == appended - 1
+        last_date = BASE_DATE + datetime.timedelta(days=len(_TABLES) - 1)
+        assert service.index.snapshot == last_date
+        expected = dict(_expected())
+        answer = service.lookup(
+            str(next(iter(expected[last_date])).v4_prefix)
+        )
+        assert answer["found"]
+
+    def test_restart_reserves_newest_generation(self, tmp_path):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        for snapshot in _series():
+            write_snapshot_file(snapshot, feed)
+        archive = tmp_path / "watch.sparch"
+        _make_watcher(feed, archive).run(once=True)
+        # A restarted watcher re-serves the newest committed generation
+        # at construction, before any poll happens.
+        service = SiblingQueryService()
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        _make_watcher(empty, archive, service=service)
+        assert service.generation == 1
+        assert service.index.snapshot == BASE_DATE + datetime.timedelta(
+            days=len(_TABLES) - 1
+        )
+
+    def test_stale_date_is_rejected_and_counted(self, tmp_path):
+        archive = tmp_path / "watch.sparch"
+        registry = MetricsRegistry()
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        watcher = _make_watcher(feed, archive, registry=registry)
+        snapshots = _series()
+        assert watcher.process(snapshots[1]) is True
+        # Same date again, and an older date: both refused.
+        assert watcher.process(snapshots[1]) is False
+        assert watcher.process(snapshots[0]) is False
+        assert registry.counter("watch.source_errors").value == 2
+        assert registry.counter("watch.generations").value == 1
+
+    def test_budget_overrun_is_observed_not_fatal(self, tmp_path):
+        archive = tmp_path / "watch.sparch"
+        registry = MetricsRegistry()
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        watcher = _make_watcher(
+            feed, archive, budget_seconds=1e-12, registry=registry
+        )
+        assert watcher.process(_series()[0]) is True
+        assert registry.counter("watch.budget_overruns").value == 1
+        assert watcher.status()["budget_overruns"] == 1
+
+    def test_status_surfaces_on_http(self, tmp_path):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        for snapshot in _series():
+            write_snapshot_file(snapshot, feed)
+        archive = tmp_path / "watch.sparch"
+        service = SiblingQueryService()
+        watcher = _make_watcher(
+            feed, archive, service=service, registry=MetricsRegistry()
+        )
+        watcher.run(once=True)
+        with make_server(service, port=0) as server:
+            server.status_extras["watch"] = watcher.status
+            server.start()
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/status", timeout=5
+            ) as response:
+                payload = json.load(response)
+        assert payload["watch"]["generations"] == len(_TABLES)
+        assert payload["watch"]["backlog"] == 0
+        assert payload["watch"]["last_date"] == (
+            BASE_DATE + datetime.timedelta(days=len(_TABLES) - 1)
+        ).isoformat()
+        assert payload["watch"]["archive"] == str(archive)
+        assert payload["worker"]["generation"] == service.generation
+
+    def test_run_stops_on_event_and_max_generations(self, tmp_path):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        for snapshot in _series():
+            write_snapshot_file(snapshot, feed)
+        archive = tmp_path / "watch.sparch"
+        watcher = _make_watcher(feed, archive, poll_interval=0.01)
+        assert watcher.run(max_generations=2) == 2
+        # The already-polled remainder of the batch is buffered, not
+        # dropped — the source consumed those files at poll time.
+        assert watcher.status()["backlog"] == len(_TABLES) - 2
+        # Resume the rest on a daemon-style run, stopped via the event.
+        stop = threading.Event()
+        done = {}
+
+        def _run():
+            done["appended"] = watcher.run(stop=stop)
+
+        thread = threading.Thread(target=_run)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while watcher.generations < len(_TABLES):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        stop.set()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert done["appended"] == len(_TABLES) - 2
+
+
+# -- SIGKILL replay stress ----------------------------------------------------
+
+_WATCH_CHILD = """
+import sys
+
+src, tests, feed, archive = sys.argv[1:5]
+sys.path.insert(0, src)
+sys.path.insert(0, tests)
+
+from test_incremental_pipeline import make_annotator
+
+from repro.analysis.watch import SnapshotDirectorySource, SnapshotWatcher
+
+annotator = make_annotator()
+watcher = SnapshotWatcher(
+    SnapshotDirectorySource(feed), lambda date: annotator, archive
+)
+watcher.run(once=True)
+print("DONE", watcher.generations, flush=True)
+"""
+
+
+def _run_watch_child(feed, archive, kill_after=None):
+    """Run the watcher child; kill -9 it after *kill_after* seconds
+    (None = let it finish).  Returns the completed process, or None if
+    it was killed."""
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _WATCH_CHILD,
+            str(SRC_DIR),
+            str(TESTS_DIR),
+            str(feed),
+            str(archive),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if kill_after is None:
+        stdout, stderr = child.communicate(timeout=120)
+        assert child.returncode == 0, stderr
+        assert "DONE" in stdout
+        return child
+    try:
+        child.wait(timeout=kill_after)
+        # Finished before the axe fell: also a valid schedule point.
+        return child
+    except subprocess.TimeoutExpired:
+        child.kill()
+        child.wait(timeout=30)
+        return None
+
+
+class TestSigkillReplay:
+    """Kill the watch daemon on a schedule; committed state never rots."""
+
+    def test_killed_watcher_replays_to_convergence(self, tmp_path):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        for snapshot in _series():
+            write_snapshot_file(snapshot, feed)
+        archive = tmp_path / "watch.sparch"
+        expected = _expected()
+        expected_dates = [date.isoformat() for date, _ in expected]
+        by_date = {date.isoformat(): s for date, s in expected}
+
+        # Escalating delays: early kills land mid-import or mid-build,
+        # later ones mid-append or post-commit (or after a fast child
+        # already finished — also a valid schedule point).
+        for delay in (0.1, 0.25, 0.4, 0.55, 0.7, 0.9):
+            _run_watch_child(feed, archive, kill_after=delay)
+            if not archive.exists():
+                continue
+            # Whatever committed must be a correct prefix of the series.
+            archived = _archived_siblings(archive)
+            dates = sorted(archived)
+            assert dates == expected_dates[: len(dates)]
+            for date in dates:
+                assert archived[date].same_pairs(by_date[date])
+
+        # A final clean run converges to the full series, and the
+        # archive strict-opens (no torn tail survives).
+        _run_watch_child(feed, archive, kill_after=None)
+        archived = _archived_siblings(archive)
+        assert sorted(archived) == expected_dates
+        for date in expected_dates:
+            assert archived[date].same_pairs(by_date[date])
+        with ArchiveReader.open(archive) as reader:
+            assert not reader.recovered
+            assert reader.verify() > 0
+        # And the recovered archive serves.
+        service = SiblingQueryService.from_archive(archive)
+        assert service.index.snapshot.isoformat() == expected_dates[-1]
