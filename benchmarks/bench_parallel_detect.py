@@ -1,24 +1,36 @@
-"""Sharded vs columnar Step-3 accumulation at three scales.
+"""Step-3 accumulation: kernel (python vs numpy) x engine (columnar vs
+sharded) at three scales.
 
-The sharded engine only pays off once the packed-key accumulation
-dwarfs worker spin-up, so this bench drives both engines over
-*synthetic dense membership indexes* (many multi-prefix domains — the
-hypergiant/shared-hosting shape) at three pair-row scales, the largest
-well inside the parallel regime.  The stock universe scenarios (tiny …
-medium) all sit *below* the fallback threshold — that is the point of
-the threshold — and are represented here by the fallback leg.
+The bench drives the accumulation over *synthetic dense membership
+indexes* (many multi-prefix domains — the hypergiant/shared-hosting
+shape) at three pair-row scales and times four legs:
+
+* **kernel legs** — the columnar accumulate on the python and numpy
+  kernels, same prepared state, timed directly on
+  ``ColumnarSubstrate.pair_counts`` (no dict conversion inside the
+  timed region).  The PR 9 acceptance bar — numpy >= 5x python,
+  single core, at the largest (2.4M pair-row) scale — is asserted
+  here whenever numpy is importable.
+* **engine legs** — sharded vs columnar within each kernel (the PR 3
+  bar — sharded >= 2x columnar at the largest scale with 4+ workers —
+  is asserted only on 4+ core hosts, per kernel).
+* **compound leg** — sharded workers each running the vectorized
+  kernel against the original single-core python columnar baseline:
+  the two speedups multiply.
+* **crossover sweep** — per-scale sharded/columnar ratios on the best
+  kernel, recorded to justify ``DEFAULT_MIN_PAIR_ROWS``: vectorizing
+  the columnar path moved the break-even point up by roughly the
+  kernel speedup, which is why the threshold rose from 200k to 2M
+  emitted rows.
 
 Timing is ``time.perf_counter`` best-of-N (each test reports a ratio
-between two legs); the module still runs once, untimed, under CI's
-``--benchmark-disable`` smoke job.  Every timed leg asserts the two
-engines produced identical counts, so a timing run is also an
-equivalence check.
+between two legs); the module still runs once under CI's
+``--benchmark-disable`` smoke job.  Every timed leg asserts the legs
+produced identical counts, so a timing run is also an equivalence
+check.
 
 Results land in ``results/parallel_detect.txt`` together with the host
-core count.  The PR 3 acceptance bar — sharded ≥ 2× columnar at the
-largest scale with 4+ workers — is asserted **only when the host
-actually has 4+ cores**; on smaller hosts the measured numbers are
-still recorded, clearly labelled.
+core count.
 """
 
 import os
@@ -28,7 +40,12 @@ import time
 import pytest
 
 from repro.core.domainsets import PrefixDomainIndex
-from repro.core.parallel import ShardedSubstrate, estimate_pair_rows
+from repro.core.kernels import available_kernel_names, numpy_available, use_kernel
+from repro.core.parallel import (
+    DEFAULT_MIN_PAIR_ROWS,
+    ShardedSubstrate,
+    estimate_pair_rows,
+)
 from repro.core.substrate import ColumnarSubstrate
 from repro.dates import REFERENCE_DATE
 from repro.nettypes.addr import IPV4, IPV6
@@ -44,6 +61,7 @@ SCALES = {
     "large": (6_000, 20, 20),     #  2.4M pair rows
 }
 
+KERNEL_NAMES = available_kernel_names()
 WORKERS = max(4, os.cpu_count() or 1)
 REPEATS = 3
 
@@ -93,59 +111,198 @@ def _best_of(fn, repeats: int = REPEATS) -> float:
 def _flush_results() -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     header = [
-        "sharded vs columnar Step-3 accumulation",
-        "=" * 39,
+        "Step-3 accumulation: kernel x engine",
+        "=" * 36,
         "",
         f"host cores: {os.cpu_count()}  workers: {WORKERS}  "
-        f"(>=2x bar asserted only on 4+ core hosts)",
-        "",
-        f"{'scale':<8} {'pair rows':>10} {'columnar':>10} {'sharded':>10} "
-        f"{'speedup':>8}",
+        f"kernels: {', '.join(KERNEL_NAMES)}",
+        "(numpy>=5x bar asserted single-core at large scale; sharded>=2x "
+        "bar asserted only on 4+ core hosts)",
     ]
     (RESULTS_DIR / "parallel_detect.txt").write_text(
         "\n".join(header + _LINES) + "\n"
     )
 
 
+def _section(title: str, columns: str) -> None:
+    _LINES.extend(["", title, "-" * len(title), columns])
+
+
 @pytest.mark.parametrize("scale", list(SCALES))
-def test_parallel_accumulation_speedup(scale):
-    """Step 3 wall time, columnar vs sharded, equivalence asserted."""
+def test_kernel_step3_speedup(scale):
+    """Columnar Step-3 accumulate, python vs numpy kernel, same state."""
+    if scale == "small":
+        _section(
+            "kernel legs (columnar accumulate, single core)",
+            f"{'scale':<8} {'pair rows':>10} {'python':>10} {'numpy':>10} "
+            f"{'speedup':>8}",
+        )
     index = _dense_index(scale)
-    columnar = ColumnarSubstrate()
-    state = columnar.prepare(index)
+    state = ColumnarSubstrate().prepare(index)
     pair_rows = estimate_pair_rows(state)
 
-    columnar_counts = {}
-    sharded_counts = {}
+    results = {}
+    elapsed = {}
+    for kernel in KERNEL_NAMES:
+        with use_kernel(kernel):
+            elapsed[kernel] = _best_of(
+                lambda: results.__setitem__(
+                    kernel, ColumnarSubstrate.pair_counts(state)
+                )
+            )
+    if not numpy_available():
+        _LINES.append(
+            f"{scale:<8} {pair_rows:>10,} "
+            f"{elapsed['python'] * 1e3:>8.1f}ms {'n/a':>10} {'n/a':>8}"
+        )
+        _flush_results()
+        pytest.skip("numpy kernel not importable on this host")
+    # Bit-identical mapping across kernels (outside the timed region).
+    assert dict(results["python"].items()) == dict(results["numpy"].items())
+    speedup = elapsed["python"] / elapsed["numpy"] if elapsed["numpy"] else 0.0
+    _LINES.append(
+        f"{scale:<8} {pair_rows:>10,} {elapsed['python'] * 1e3:>8.1f}ms "
+        f"{elapsed['numpy'] * 1e3:>8.1f}ms {speedup:>7.2f}x"
+    )
+    _flush_results()
 
-    def columnar_leg():
-        columnar_counts.clear()
-        columnar_counts.update(ColumnarSubstrate.pair_counts(state))
+    if scale == "large":
+        assert speedup >= 5.0, (
+            f"numpy kernel only {speedup:.2f}x over python at {scale} scale "
+            f"({pair_rows:,} pair rows; acceptance bar is 5x single-core)"
+        )
 
-    sharded = ShardedSubstrate(workers=WORKERS, min_pair_rows=0)
-    sharded_state = sharded.prepare(index)
 
-    def sharded_leg():
-        sharded_counts.clear()
-        sharded_counts.update(sharded.pair_counts(sharded_state))
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_parallel_accumulation_speedup(scale, kernel):
+    """Step 3 wall time, columnar vs sharded within one kernel."""
+    if scale == "small" and kernel == KERNEL_NAMES[0]:
+        _section(
+            "engine legs (sharded vs columnar, per kernel)",
+            f"{'scale':<8} {'pair rows':>10} {'kernel':>7} {'columnar':>10} "
+            f"{'sharded':>10} {'speedup':>8}",
+        )
+    index = _dense_index(scale)
+    with use_kernel(kernel):
+        columnar = ColumnarSubstrate()
+        state = columnar.prepare(index)
+        pair_rows = estimate_pair_rows(state)
 
-    columnar_elapsed = _best_of(columnar_leg)
-    sharded_elapsed = _best_of(sharded_leg)
-    assert sharded.last_run["mode"] == "sharded"
-    assert columnar_counts == sharded_counts  # bit-identical merge
+        columnar_counts = {}
+        sharded_counts = {}
+
+        def columnar_leg():
+            columnar_counts.clear()
+            columnar_counts.update(ColumnarSubstrate.pair_counts(state).items())
+
+        sharded = ShardedSubstrate(workers=WORKERS, min_pair_rows=0)
+        sharded_state = sharded.prepare(index)
+
+        def sharded_leg():
+            sharded_counts.clear()
+            sharded_counts.update(sharded.pair_counts(sharded_state).items())
+
+        columnar_elapsed = _best_of(columnar_leg)
+        sharded_elapsed = _best_of(sharded_leg)
+        assert sharded.last_run["mode"] == "sharded"
+        assert columnar_counts == sharded_counts  # bit-identical merge
 
     speedup = columnar_elapsed / sharded_elapsed if sharded_elapsed else 0.0
     _LINES.append(
-        f"{scale:<8} {pair_rows:>10,} {columnar_elapsed * 1e3:>8.1f}ms "
-        f"{sharded_elapsed * 1e3:>8.1f}ms {speedup:>7.2f}x"
+        f"{scale:<8} {pair_rows:>10,} {kernel:>7} "
+        f"{columnar_elapsed * 1e3:>8.1f}ms {sharded_elapsed * 1e3:>8.1f}ms "
+        f"{speedup:>7.2f}x"
     )
     _flush_results()
 
     if scale == "large" and (os.cpu_count() or 1) >= 4:
         assert speedup >= 2.0, (
             f"sharded only {speedup:.2f}x over columnar at {scale} scale "
-            f"with {WORKERS} workers (acceptance bar is 2x on 4+ cores)"
+            f"with {WORKERS} workers on the {kernel} kernel "
+            f"(acceptance bar is 2x on 4+ cores)"
         )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="needs the numpy kernel")
+def test_compound_sharded_vectorized():
+    """Sharded workers x vectorized kernel vs the single-core python
+    columnar baseline: the two speedups compound."""
+    index = _dense_index("large")
+    state = ColumnarSubstrate().prepare(index)
+    pair_rows = estimate_pair_rows(state)
+
+    with use_kernel("python"):
+        baseline = _best_of(lambda: ColumnarSubstrate.pair_counts(state))
+    with use_kernel("numpy"):
+        sharded = ShardedSubstrate(workers=WORKERS, min_pair_rows=0)
+        sharded_state = sharded.prepare(index)
+        compound = _best_of(lambda: sharded.pair_counts(sharded_state))
+        assert sharded.last_run["mode"] == "sharded"
+
+    speedup = baseline / compound if compound else 0.0
+    _section(
+        "compound leg (sharded x vectorized vs python columnar)",
+        f"{'scale':<8} {'pair rows':>10} {'baseline':>10} {'compound':>10} "
+        f"{'speedup':>8}",
+    )
+    _LINES.append(
+        f"{'large':<8} {pair_rows:>10,} {baseline * 1e3:>8.1f}ms "
+        f"{compound * 1e3:>8.1f}ms {speedup:>7.2f}x"
+    )
+    _flush_results()
+
+
+def test_min_pair_rows_crossover_sweep():
+    """Record the sharded/columnar ratio per scale on the best kernel —
+    the measurement behind ``DEFAULT_MIN_PAIR_ROWS``.
+
+    Vectorizing the columnar accumulate sped the fallback path up by
+    roughly the kernel speedup while worker spin-up/IPC costs were
+    unchanged, so the break-even pair-row count moved up by about the
+    same factor: 200k (python-kernel era) -> 2M.  The sweep records
+    where (or whether) sharding wins on *this* host so the committed
+    table always carries the evidence for the shipped threshold.
+    """
+    best_kernel = "numpy" if numpy_available() else "python"
+    _section(
+        f"min_pair_rows crossover sweep ({best_kernel} kernel, "
+        f"{WORKERS} workers)",
+        f"{'scale':<8} {'pair rows':>10} {'columnar':>10} {'sharded':>10} "
+        f"{'sharded wins':>12}",
+    )
+    crossover = None
+    with use_kernel(best_kernel):
+        for scale in SCALES:
+            index = _dense_index(scale)
+            state = ColumnarSubstrate().prepare(index)
+            pair_rows = estimate_pair_rows(state)
+            columnar_elapsed = _best_of(
+                lambda: ColumnarSubstrate.pair_counts(state)
+            )
+            sharded = ShardedSubstrate(workers=WORKERS, min_pair_rows=0)
+            sharded_state = sharded.prepare(index)
+            sharded_elapsed = _best_of(
+                lambda: sharded.pair_counts(sharded_state)
+            )
+            wins = sharded_elapsed < columnar_elapsed
+            if wins and crossover is None:
+                crossover = pair_rows
+            _LINES.append(
+                f"{scale:<8} {pair_rows:>10,} "
+                f"{columnar_elapsed * 1e3:>8.1f}ms "
+                f"{sharded_elapsed * 1e3:>8.1f}ms {'yes' if wins else 'no':>12}"
+            )
+    _LINES.append(
+        f"crossover on this host: "
+        + (f"~{crossover:,} pair rows" if crossover is not None
+           else "not reached at these scales")
+        + f"  (shipped DEFAULT_MIN_PAIR_ROWS={DEFAULT_MIN_PAIR_ROWS:,})"
+    )
+    _flush_results()
+    # Keep the committed table and the shipped constant in sync: a
+    # retune must re-run this bench.
+    assert DEFAULT_MIN_PAIR_ROWS == 2_000_000
 
 
 def test_fallback_leg_recorded():

@@ -40,6 +40,11 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.core.kernels import (
+    KernelUnavailableError,
+    available_kernel_names,
+    set_kernel,
+)
 from repro.core.sptuner import SpTunerMS, TunerConfig
 from repro.core.substrate import DEFAULT_SUBSTRATE, SUBSTRATES
 from repro.dates import REFERENCE_DATE
@@ -64,10 +69,18 @@ def _add_substrate_options(command: argparse.ArgumentParser) -> None:
         "(0 = all cores; small inputs fall back to single-process)",
     )
     command.add_argument(
+        "--kernel",
+        choices=("numpy", "python"),
+        default=None,
+        help="Step 3-4 batch-op kernel (numpy: vectorized over the CSR "
+        "buffers; python: bit-identical stdlib fallback); default "
+        "follows REPRO_KERNEL, else numpy when importable",
+    )
+    command.add_argument(
         "--stats",
         action="store_true",
         help="after the run, print the per-stage wall/CPU timing table "
-        "(Steps 1-4, per-shard) to stderr",
+        "(Steps 1-4, per-shard, kernel-labeled) to stderr",
     )
 
 
@@ -762,11 +775,13 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 0
     if "workers" in payload:
         uptime = payload.get("uptime_seconds")
+        kernel = payload.get("kernel")
         print(
             f"fleet {payload.get('host')}:{payload.get('port')}  "
             f"generation={payload.get('generation')}  "
             f"restarts={payload.get('restarts')}  "
             f"swap_lag={payload.get('swap_lag')}"
+            + (f"  kernel={kernel}" if kernel is not None else "")
             + (f"  uptime={uptime:.1f}s" if uptime is not None else "")
         )
         print(
@@ -796,6 +811,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
             "generation",
             "swaps",
             "queries",
+            "kernel",
             "generation_age_seconds",
         ):
             if key in service:
@@ -814,6 +830,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "kernel", None):
+        try:
+            set_kernel(args.kernel)
+        except KernelUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                f"available kernels: {', '.join(available_kernel_names())}",
+                file=sys.stderr,
+            )
+            return 2
     if args.command == "detect":
         return _cmd_detect(args)
     if args.command == "detect-series":

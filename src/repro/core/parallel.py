@@ -35,16 +35,21 @@ import multiprocessing
 import os
 import time
 from array import array
-from collections import Counter
 from typing import ClassVar
 
+from repro.core.kernels import PairCounts, get_kernel
 from repro.core.substrate import SUBSTRATES, ColumnarSubstrate, _ColumnarState
 from repro.obs.tracing import record_stage
 
 #: Below this many emitted Step-3 pair rows the accumulation is cheaper
 #: than forking workers, and the engine transparently runs the
-#: single-process columnar path instead.
-DEFAULT_MIN_PAIR_ROWS = 200_000
+#: single-process columnar path instead.  Re-tuned for the vectorized
+#: numpy kernel (see benchmarks/results/parallel_detect.txt): the old
+#: 200k crossover was measured against the pure-Python loop; the numpy
+#: kernel clears 200k rows in low single-digit milliseconds, far below
+#: worker fork+IPC cost, so the sharded path only starts paying for
+#: itself in the millions of emitted rows.
+DEFAULT_MIN_PAIR_ROWS = 2_000_000
 
 
 class ShardedDetectionError(RuntimeError):
@@ -129,17 +134,20 @@ def build_shard_payloads_from_rows(
     ]
 
 
-def accumulate_shard(payload: tuple) -> tuple[int, array, array, float, float]:
+def accumulate_shard(payload: tuple) -> tuple[int, object, object, float, float]:
     """Step-3 accumulation for one shard (the worker entry point).
 
     Runs in a ``multiprocessing`` worker but is a pure function, so the
     differential tests also call it in-process.  Returns the shard id,
-    the shard-local counter flattened into two parallel arrays (packed
-    keys, counts) — the pickle-light return leg — and the shard's own
-    wall/CPU seconds, which the parent records as per-shard stage
-    timings (workers can't reach the parent's registry).  Any failure
-    is re-raised tagged with the shard id, so the parent's
-    :class:`ShardedDetectionError` always names the failing shard.
+    the shard-local counter flattened into two parallel key/count
+    columns (``array`` on the python kernel, ndarrays on numpy — both
+    pickle-light) and the shard's own wall/CPU seconds, which the
+    parent records as per-shard stage timings (workers can't reach the
+    parent's registry).  Forked workers inherit the parent's active
+    kernel; spawned ones re-select it from the exported
+    ``REPRO_KERNEL``.  Any failure is re-raised tagged with the shard
+    id, so the parent's :class:`ShardedDetectionError` always names
+    the failing shard.
     """
     shard = payload[0]
     wall0 = time.perf_counter()
@@ -157,31 +165,20 @@ def accumulate_shard(payload: tuple) -> tuple[int, array, array, float, float]:
     )
 
 
-def _accumulate(payload: tuple) -> tuple[int, array, array]:
-    """The untagged accumulation body of :func:`accumulate_shard`."""
+def _accumulate(payload: tuple) -> tuple[int, object, object]:
+    """The untagged accumulation body of :func:`accumulate_shard`.
+
+    Delegates the CSR expansion + counting to the active kernel
+    (:meth:`repro.core.kernels.Kernel.accumulate_packed`) — the
+    sharded engine and the vectorized kernel compound.
+    """
     shard, bases_data, bases_offsets, rows_data, rows_offsets, fail = payload
     if fail:
         raise RuntimeError("injected failure")
-    packed: list[int] = []
-    append = packed.append
-    extend = packed.extend
-    for segment in range(len(bases_offsets) - 1):
-        b_lo = bases_offsets[segment]
-        b_hi = bases_offsets[segment + 1]
-        # tolist() once per segment: iterating a list beats iterating an
-        # array slice in the hot comprehension below.
-        rows = rows_data[rows_offsets[segment] : rows_offsets[segment + 1]].tolist()
-        if b_hi - b_lo == 1:
-            base = bases_data[b_lo]
-            if len(rows) == 1:
-                append(base | rows[0])
-            else:
-                extend([base | row for row in rows])
-        else:
-            for base in bases_data[b_lo:b_hi].tolist():
-                extend([base | row for row in rows])
-    counts = Counter(packed)
-    return shard, array("Q", counts.keys()), array("I", counts.values())
+    keys, counts = get_kernel().accumulate_packed(
+        bases_data, bases_offsets, rows_data, rows_offsets
+    )
+    return shard, keys, counts
 
 
 class ShardedSubstrate(ColumnarSubstrate):
@@ -273,7 +270,7 @@ class ShardedSubstrate(ColumnarSubstrate):
 
     def _map_and_merge(
         self, payloads, n_workers: int, pair_rows: int, mode: str, what: str
-    ) -> Counter:
+    ) -> PairCounts:
         """Dispatch shard payloads to a worker pool and merge the counts.
 
         The shared leg of the full and delta accumulations; *mode* tags
@@ -289,19 +286,18 @@ class ShardedSubstrate(ColumnarSubstrate):
                 f"sharded {what} failed ({n_workers} workers): {exc}"
             ) from exc
 
-        # Disjoint key spaces: a plain union merges without conflict.
-        # Filled via dict.update (Counter.update would *add*, a wasted
-        # semantic here, and Counter(merged_dict) would copy the whole
-        # table a second time).  Counter like the base class, since
-        # callers may use its API; iteration order follows the shard
-        # layout and nothing downstream observes it (scoring reduces
-        # over all pairs, publishing sorts its rows).
-        merged: Counter = Counter()
+        # Disjoint key spaces: a plain union merges without conflict —
+        # dict union on the python kernel, concatenate + one argsort on
+        # numpy.  The merged mapping's contents are worker-count
+        # invariant; kernels normalize iteration order downstream
+        # (select emits survivors in ascending packed-key order).
+        columns = []
         for shard, keys, counts, wall, cpu in shard_results:
-            dict.update(merged, zip(keys, counts))
+            columns.append((keys, counts))
             record_stage(
                 "step3.shard", wall, cpu, items=len(keys), shard=str(shard)
             )
+        merged = get_kernel().merge_disjoint(columns)
         self.last_run = {
             "mode": mode,
             "workers": n_workers,
@@ -310,7 +306,7 @@ class ShardedSubstrate(ColumnarSubstrate):
         }
         return merged
 
-    def _accumulate_rows(self, dom_bases, dom_rows) -> Counter:
+    def _accumulate_rows(self, dom_bases, dom_rows) -> PairCounts:
         """Delta-row accumulation, sharded exactly like a full run.
 
         Retract/add rows are partitioned by the same ``v4_row %

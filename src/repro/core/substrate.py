@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import abc
 from array import array
-from collections import Counter
 from typing import ClassVar, Iterable, NamedTuple
 
 from repro.core.detection import (
@@ -57,7 +56,7 @@ from repro.core.detection import (
     select_best_matches,
 )
 from repro.core.domainsets import PrefixDomainIndex
-from repro.core.metrics import METRICS_FROM_COUNTS
+from repro.core.kernels import PairCounts, get_kernel, kernel_name
 from repro.core.siblings import SiblingPair, SiblingSet
 from repro.nettypes.prefix import Prefix
 from repro.obs.tracing import trace
@@ -215,11 +214,13 @@ class _ColumnarState:
             )
         #: Tombstoned dom positions available for reuse by delta adds.
         self.free_positions: list[int] = []
-        #: Persistent Step-3 counter.  ``None`` until the first full
-        #: accumulation; afterwards kept current by delta retract/add
-        #: (:meth:`ColumnarSubstrate._patch_state`) so repeated selects
-        #: and incremental runs never re-accumulate unchanged domains.
-        self.counts: Counter | None = None
+        #: Persistent Step-3 counter (:class:`~repro.core.kernels.
+        #: PairCounts`, backend per active kernel).  ``None`` until the
+        #: first full accumulation; afterwards kept current by delta
+        #: retract/add (:meth:`ColumnarSubstrate._patch_state`) so
+        #: repeated selects and incremental runs never re-accumulate
+        #: unchanged domains.
+        self.counts: PairCounts | None = None
 
         # Per-prefix domain posting lists in CSR layout: sorted global
         # domain ids, one flat array + offsets per family.
@@ -300,27 +301,17 @@ def _build_csr(
     return data, offsets
 
 
-def accumulate_rowlists(dom_bases, dom_rows) -> Counter:
+def accumulate_rowlists(dom_bases, dom_rows) -> PairCounts:
     """Step-3 accumulation over aligned (bases, rows) membership lists.
 
-    The single-process accumulation kernel, shared by the full
+    The single-process accumulation entry, shared by the full
     :meth:`ColumnarSubstrate.pair_counts` pass and the delta retract/add
-    passes (which feed it only the touched domains' rows).
+    passes (which feed it only the touched domains' rows).  Executes on
+    the active kernel (:func:`repro.core.kernels.get_kernel`) —
+    vectorized numpy batch ops when available, the bit-identical
+    stdlib ``Counter`` loop otherwise.
     """
-    packed: list[int] = []
-    append = packed.append
-    extend = packed.extend
-    for bases, rows in zip(dom_bases, dom_rows):
-        if len(bases) == 1:
-            base = bases[0]
-            if len(rows) == 1:
-                append(base | rows[0])
-            else:
-                extend([base | row for row in rows])
-        else:
-            for base in bases:
-                extend([base | row for row in rows])
-    return Counter(packed)
+    return get_kernel().accumulate_rowlists(dom_bases, dom_rows)
 
 
 class _ColumnarCacheEntry:
@@ -610,19 +601,14 @@ class ColumnarSubstrate(Substrate):
         counts = state.counts
         if counts is None:
             return
-        if retract_bases:
-            for key, retracted in self._accumulate_rows(
-                retract_bases, retract_rows
-            ).items():
-                remaining = counts[key] - retracted
-                if remaining:
-                    counts[key] = remaining
-                else:
-                    del counts[key]
-        if add_bases:
-            counts.update(self._accumulate_rows(add_bases, add_rows))
+        counts.patch(
+            self._accumulate_rows(retract_bases, retract_rows)
+            if retract_bases
+            else None,
+            self._accumulate_rows(add_bases, add_rows) if add_bases else None,
+        )
 
-    def _accumulate_rows(self, dom_bases, dom_rows) -> Counter:
+    def _accumulate_rows(self, dom_bases, dom_rows) -> PairCounts:
         """Accumulate packed pair counts for a subset of domains' rows.
 
         The delta-sized sibling of :meth:`pair_counts`; parallel engines
@@ -634,11 +620,12 @@ class ColumnarSubstrate(Substrate):
     # -- Steps 3-4 -----------------------------------------------------------
 
     @staticmethod
-    def pair_counts(state: _ColumnarState) -> Counter:
+    def pair_counts(state: _ColumnarState) -> PairCounts:
         """Step 3: shared-domain counts per packed ``(v4 << 32) | v6`` key.
 
-        One flat pass over the per-domain membership rows; the Counter
-        runs at C speed over plain integers.
+        One flat pass over the per-domain membership rows, executed on
+        the active kernel (vectorized numpy expansion + unique, or the
+        stdlib Counter loop).
         """
         return accumulate_rowlists(state.dom_bases, state.dom_rows)
 
@@ -659,53 +646,39 @@ class ColumnarSubstrate(Substrate):
         state = self.prepare(index)
         counts = state.counts
         if counts is None:
-            with trace("step3.accumulate") as span:
+            with trace("step3.accumulate", kernel=kernel_name()) as span:
                 counts = self.pair_counts(state)
                 span.add_items(len(counts))
             state.counts = counts
-        with trace("step4.select") as step4:
-            metric_fn = METRICS_FROM_COUNTS[metric]
+        with trace("step4.select", kernel=kernel_name()) as step4:
             v4_sizes = state.v4_sizes
             v6_sizes = state.v6_sizes
 
-            best_v4: dict[int, float] = {}
-            best_v6: dict[int, float] = {}
-            best_v4_get = best_v4.get
-            best_v6_get = best_v6.get
-            scored: list[tuple[int, float]] = []
-            scored_append = scored.append
-            for key, shared in counts.items():
-                a = key >> 32
-                b = key & _LOW32
-                value = metric_fn(shared, v4_sizes[a], v6_sizes[b])
-                if value <= 0.0:
-                    continue
-                scored_append((key, value))
-                if value > best_v4_get(a, 0.0):
-                    best_v4[a] = value
-                if value > best_v6_get(b, 0.0):
-                    best_v6[b] = value
-
-            # Specialize the keep predicate outside the per-pair loop.
+            # The scoring + best-match fold runs on the active kernel
+            # (vectorized metric columns and np.maximum.at bests, or
+            # the scalar two-pass loop); the mode predicate is
+            # specialized here once.
             want_v4 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V4_ONLY)
             want_v6 = mode in (BestMatchMode.EITHER, BestMatchMode.BOTH, BestMatchMode.V6_ONLY)
             need_both = mode is BestMatchMode.BOTH
+            kept_keys, kept_values, scored = get_kernel().select_scored(
+                counts,
+                v4_sizes,
+                v6_sizes,
+                metric,
+                want_v4,
+                want_v6,
+                need_both,
+                TIE_EPSILON,
+            )
 
             result = SiblingSet(index.date)
             v4_prefixes = state.v4_prefixes
             v6_prefixes = state.v6_prefixes
             names = self._domain_names
-            for key, value in scored:
+            for key, value in zip(kept_keys, kept_values):
                 a = key >> 32
                 b = key & _LOW32
-                is_best_v4 = want_v4 and value >= best_v4[a] - TIE_EPSILON
-                is_best_v6 = want_v6 and value >= best_v6[b] - TIE_EPSILON
-                if need_both:
-                    keep = is_best_v4 and is_best_v6
-                else:
-                    keep = is_best_v4 or is_best_v6
-                if not keep:
-                    continue
                 # Lazy materialization: only surviving pairs intersect their
                 # posting lists and map ids back to domain strings.
                 gids_a = state.v4_gids(a)
@@ -722,7 +695,7 @@ class ColumnarSubstrate(Substrate):
                         v6_domain_count=v6_sizes[b],
                     )
                 )
-            step4.add_items(len(scored))
+            step4.add_items(scored)
         return result
 
     def group_stats(

@@ -43,6 +43,7 @@ import threading
 
 import time
 
+from repro.core.kernels import kernel_name
 from repro.obs.metrics import merge_snapshots, render_prometheus
 from repro.obs.tracing import reset_registry
 from repro.serving.http import SiblingHTTPServer, StatusHTTPServer
@@ -490,6 +491,10 @@ class ServingFleet:
                 "host": self.host,
                 "port": self.port if self._guard is not None else None,
                 "control_port": self.control_port,
+                # Workers are forked from (or spawned with the exported
+                # REPRO_KERNEL of) this supervisor, so its active kernel
+                # is the fleet's.
+                "kernel": kernel_name(),
                 "workers": rows,
                 "restarts": self._restarts,
                 "generation": generation,

@@ -177,7 +177,7 @@ class SiblingRequestHandler(BaseHTTPRequestHandler):
         payload = {
             "fleet": None,
             "worker": worker,
-            "service": service.snapshot_info(),
+            "service": service.status(),
         }
         for name, provider in self.server.status_extras.items():
             payload[name] = provider()

@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Iterable, Sequence
 
+from repro.core.kernels import kernel_name
 from repro.nettypes.prefix import PrefixError
 from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
 from repro.obs.tracing import get_registry
@@ -307,6 +308,18 @@ class SiblingQueryService:
             info["index"] = None
         else:
             info["index"] = index.stats()
+        return info
+
+    def status(self) -> dict:
+        """:meth:`snapshot_info` plus engine facts — the service view of
+        ``/v1/status``.
+
+        Adds ``kernel``: the process-active Step 3-4 batch-op kernel
+        (:func:`repro.core.kernels.kernel_name`), so a fleet silently
+        running the pure-python fallback is visible at a glance.
+        """
+        info = self.snapshot_info()
+        info["kernel"] = kernel_name()
         return info
 
     def __repr__(self) -> str:

@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import struct
 from array import array
-from collections import Counter
 from typing import Callable, Iterable
 
+from repro.core.kernels import get_kernel
 from repro.core.siblings import SiblingPair, SiblingSet
 from repro.core.substrate import _ColumnarState
 from repro.nettypes.prefix import Prefix
@@ -252,10 +252,18 @@ def state_segments(state: _ColumnarState) -> tuple[dict, dict]:
     )
     bases_data, bases_offsets = _csr(state.dom_bases, "Q")
     rows_data, rows_offsets = _csr(state.dom_rows, "I")
-    counts = state.counts if state.counts is not None else Counter()
-    ordered_keys = sorted(counts)
-    counts_keys = array("Q", ordered_keys)
-    counts_vals = array("I", (counts[key] for key in ordered_keys))
+    # The counter serializes through the kernel-neutral sorted-column
+    # wire format (PairCounts.sorted_columns: u64 keys / u32 counts),
+    # so archives written under one kernel restore under the other.
+    if state.counts is not None:
+        counts_keys, counts_vals = state.counts.sorted_columns()
+        counts_key_bytes = counts_keys.tobytes()
+        counts_val_bytes = counts_vals.tobytes()
+        pair_count = len(state.counts)
+    else:
+        counts_key_bytes = b""
+        counts_val_bytes = b""
+        pair_count = 0
     segments = {
         "state.v4_prefixes": v4_prefix_records,
         "state.v6_prefixes": v6_prefix_records,
@@ -269,14 +277,14 @@ def state_segments(state: _ColumnarState) -> tuple[dict, dict]:
         "state.dom_bases_offsets": bases_offsets,
         "state.dom_rows_data": rows_data,
         "state.dom_rows_offsets": rows_offsets,
-        "state.counts_keys": counts_keys.tobytes(),
-        "state.counts_vals": counts_vals.tobytes(),
+        "state.counts_keys": counts_key_bytes,
+        "state.counts_vals": counts_val_bytes,
     }
     meta = {
         "v4_rows": v4_rows,
         "v6_rows": v6_rows,
         "positions": len(state.dom_bases),
-        "pairs": len(counts),
+        "pairs": pair_count,
         "has_counts": state.counts is not None,
     }
     return segments, meta
@@ -368,7 +376,9 @@ def restore_state(generation: Generation, pool_names: list[str]) -> _ColumnarSta
     if len(keys) != len(vals):
         raise ArchiveFormatError("counter keys/values length mismatch")
     if meta.get("has_counts", True):
-        state.counts = Counter(dict(zip(keys, vals)))
+        # Rebuilt on the *restoring* process's active kernel — the
+        # sorted-column wire format is kernel-neutral.
+        state.counts = get_kernel().counts_from_columns(keys, vals)
     else:
         state.counts = None
     state._v4_gid_sets = {}

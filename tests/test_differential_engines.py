@@ -19,6 +19,7 @@ failure blobs printed for reproducibility).
 import dataclasses
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -26,6 +27,7 @@ from conftest import as_mapping
 
 from repro.core.detection import BestMatchMode
 from repro.core.domainsets import PrefixDomainIndex, build_index
+from repro.core.kernels import available_kernel_names, use_kernel
 from repro.core.metrics import METRICS_FROM_COUNTS
 from repro.core.parallel import (
     ShardedSubstrate,
@@ -89,6 +91,14 @@ def membership_indexes(draw):
 
 METRIC_NAMES = sorted(METRICS_FROM_COUNTS)
 
+#: The kernel axis of the differential grid: every engine property runs
+#: once per importable kernel, forced in-process via
+#: :class:`repro.core.kernels.use_kernel` (which also exports
+#: ``REPRO_KERNEL`` so forked shard workers select the same kernel).
+#: On a numpy-free interpreter this is just ``["python"]`` and the
+#: numpy axis is covered by CI's differential job instead.
+KERNEL_NAMES = available_kernel_names()
+
 _as_mapping = as_mapping
 
 
@@ -97,38 +107,41 @@ _as_mapping = as_mapping
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
 @given(index=membership_indexes(), n_shards=st.integers(1, 5))
-def test_shard_plan_is_exact_partition(index, n_shards):
+def test_shard_plan_is_exact_partition(kernel, index, n_shards):
     """Shard-local counters partition the columnar counter exactly.
 
     Runs the worker function in-process (it is pure), so this property
     gets high example counts without fork overhead: shard key spaces
     must be disjoint, each key must live on the shard its v4 row
     selects, and the merged counts must equal the single-process
-    columnar counts bit for bit.
+    columnar counts bit for bit — per kernel.
     """
-    substrate = ColumnarSubstrate()
-    state = substrate.prepare(index)
-    expected = dict(ColumnarSubstrate.pair_counts(state))
+    with use_kernel(kernel):
+        substrate = ColumnarSubstrate()
+        state = substrate.prepare(index)
+        expected = dict(ColumnarSubstrate.pair_counts(state))
 
-    payloads = build_shard_payloads(state, n_shards)
-    assert len(payloads) == n_shards
-    merged: dict[int, int] = {}
-    seen_keys: set[int] = set()
-    for payload in payloads:
-        shard, keys, counts, wall, cpu = accumulate_shard(payload)
-        assert shard == payload[0]
-        assert wall >= 0.0 and cpu >= 0.0
-        shard_keys = set(keys)
-        assert not (shard_keys & seen_keys), "shard key spaces overlap"
-        seen_keys |= shard_keys
-        for key in shard_keys:
-            assert (key >> 32) % n_shards == shard
-        merged.update(zip(keys, counts))
-    assert merged == expected
-    assert sum(merged.values()) == estimate_pair_rows(state)
+        payloads = build_shard_payloads(state, n_shards)
+        assert len(payloads) == n_shards
+        merged: dict[int, int] = {}
+        seen_keys: set[int] = set()
+        for payload in payloads:
+            shard, keys, counts, wall, cpu = accumulate_shard(payload)
+            assert shard == payload[0]
+            assert wall >= 0.0 and cpu >= 0.0
+            shard_keys = {int(key) for key in keys}
+            assert not (shard_keys & seen_keys), "shard key spaces overlap"
+            seen_keys |= shard_keys
+            for key in shard_keys:
+                assert (key >> 32) % n_shards == shard
+            merged.update(zip((int(k) for k in keys), (int(c) for c in counts)))
+        assert merged == expected
+        assert sum(merged.values()) == estimate_pair_rows(state)
 
 
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
 @given(
     index=membership_indexes(),
     metric=st.sampled_from(METRIC_NAMES),
@@ -136,33 +149,37 @@ def test_shard_plan_is_exact_partition(index, n_shards):
     workers=st.integers(1, 3),
 )
 @settings(max_examples=10)
-def test_engines_identical_select(index, metric, mode, workers):
+def test_engines_identical_select(kernel, index, metric, mode, workers):
     """reference, columnar, and sharded agree on the full result.
 
     The sharded engine runs with a zero fallback threshold so real
-    worker processes execute even on these small inputs.
+    worker processes execute even on these small inputs.  The kernel
+    parameter runs the whole property once per importable kernel —
+    {reference, columnar, sharded} x {python, numpy} bit-identity.
     """
-    reference = get_substrate("reference").select(index, metric=metric, mode=mode)
-    columnar = ColumnarSubstrate().select(index, metric=metric, mode=mode)
-    sharded = ShardedSubstrate(workers=workers, min_pair_rows=0).select(
-        index, metric=metric, mode=mode
-    )
-    assert _as_mapping(reference) == _as_mapping(columnar) == _as_mapping(sharded)
+    with use_kernel(kernel):
+        reference = get_substrate("reference").select(index, metric=metric, mode=mode)
+        columnar = ColumnarSubstrate().select(index, metric=metric, mode=mode)
+        sharded = ShardedSubstrate(workers=workers, min_pair_rows=0).select(
+            index, metric=metric, mode=mode
+        )
+        assert _as_mapping(reference) == _as_mapping(columnar) == _as_mapping(sharded)
 
 
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
 @given(
     seed=st.integers(min_value=0, max_value=2**20),
     hgcdn_scale=st.sampled_from((0.004, 0.02)),
     split_hosting=st.sampled_from((0.22, 0.4)),
 )
 @settings(max_examples=4)
-def test_scenario_grid_differential(seed, hgcdn_scale, split_hosting):
+def test_scenario_grid_differential(kernel, seed, hgcdn_scale, split_hosting):
     """Full-pipeline agreement on randomly seeded scenario-grid configs.
 
     Universes built from randomized :mod:`repro.synth.scenarios`
     variants exercise realistic structure (hypergiants, shared hosting,
     ties) that the direct membership strategy cannot: all three engines
-    must agree on the complete sibling set.
+    must agree on the complete sibling set, under either kernel.
     """
     config = dataclasses.replace(
         SCENARIOS["tiny"],
@@ -176,11 +193,51 @@ def test_scenario_grid_differential(seed, hgcdn_scale, split_hosting):
         universe.snapshot_at(REFERENCE_DATE),
         universe.annotator_at(REFERENCE_DATE),
     )
-    reference = get_substrate("reference").select(index)
-    columnar = ColumnarSubstrate().select(index)
-    sharded = ShardedSubstrate(workers=2, min_pair_rows=0).select(index)
+    with use_kernel(kernel):
+        reference = get_substrate("reference").select(index)
+        columnar = ColumnarSubstrate().select(index)
+        sharded = ShardedSubstrate(workers=2, min_pair_rows=0).select(index)
     assert len(reference) > 0
     assert _as_mapping(reference) == _as_mapping(columnar) == _as_mapping(sharded)
+
+
+@pytest.mark.skipif(
+    len(KERNEL_NAMES) < 2, reason="numpy not importable: single-kernel build"
+)
+@given(
+    index=membership_indexes(),
+    metric=st.sampled_from(METRIC_NAMES),
+    mode=st.sampled_from(list(BestMatchMode)),
+)
+@settings(max_examples=15)
+def test_kernels_bit_identical_select(index, metric, mode):
+    """python and numpy kernels agree to the last float bit and in order.
+
+    Stronger than mapping agreement: the pair sequence, every
+    similarity's exact bit pattern (``float.hex``), the shared-domain
+    sets, and the family domain counts must match — the kernels are
+    interchangeable, not merely approximately equal.
+    """
+    outputs = []
+    for kernel in KERNEL_NAMES:
+        with use_kernel(kernel):
+            siblings = ColumnarSubstrate().select(index, metric=metric, mode=mode)
+        outputs.append(
+            [
+                (
+                    pair.v4_prefix,
+                    pair.v6_prefix,
+                    pair.similarity.hex(),
+                    pair.shared_domains,
+                    pair.v4_domain_count,
+                    pair.v6_domain_count,
+                )
+                for pair in siblings
+            ]
+        )
+    first = outputs[0]
+    for other in outputs[1:]:
+        assert other == first
 
 
 # ---------------------------------------------------------------------------
