@@ -467,6 +467,7 @@ class SnapshotWatcher:
                 self._last_date.isoformat() if self._last_date else None
             ),
             "backlog": backlog,
+            "swaps_skipped": self._m_swaps_skipped.value,
             "publish_lag_seconds": self._last_lag,
             "cycle_seconds": self._last_cycle,
             "budget_seconds": self.budget_seconds,

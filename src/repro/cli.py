@@ -11,6 +11,12 @@ Subcommands:
   ``--archive`` the series resumes from / appends to an archive.
 * ``experiment`` — run any registered per-figure experiment.
 * ``scenarios``  — list the available scenario presets.
+* ``scenario``   — run a scripted longitudinal event scenario (rollout,
+  renumber, rotation, aliased, orgchurn, mixed) through the incremental
+  pipeline — or the full watch daemon with ``--via watch`` — and score
+  detection exactly against the generator's ground-truth ledger
+  (``--score``); ``detect-series --events NAME --score`` does the same
+  over the plain series command.
 * ``lookup``     — longest-prefix-match query against an export (binary
   index files are memory-loaded; CSV exports are streamed).
 * ``serve``      — stand up the JSON HTTP lookup endpoint over an
@@ -156,6 +162,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "(with --incremental the run resumes from the archived substrate "
         "state), and newly detected dates are appended",
     )
+    series.add_argument(
+        "--events",
+        metavar="NAME",
+        help="run over a scripted event scenario (see `repro scenario "
+        "list`) instead of a calibrated universe; the date grid comes "
+        "from the event script and --scenario/--offsets are ignored",
+    )
+    series.add_argument(
+        "--score",
+        action="store_true",
+        help="after the run, print per-date precision/recall/F1 and "
+        "churn-lag against the event script's ground-truth ledger "
+        "(requires --events)",
+    )
     _add_substrate_options(series)
 
     experiment = sub.add_parser("experiment", help="run a per-figure experiment")
@@ -163,6 +183,68 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scenario", default="tiny")
 
     sub.add_parser("scenarios", help="list scenario presets")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a scripted longitudinal event scenario with exact "
+        "ground-truth scoring",
+    )
+    scenario.add_argument(
+        "op",
+        choices=("run", "list"),
+        help="run: drive the named event script through the incremental "
+        "pipeline and score detection against the generator's ledger; "
+        "list: show the scripted scenario grid",
+    )
+    scenario.add_argument(
+        "name",
+        nargs="?",
+        help="event scenario name (e.g. rollout, rotation, aliased, "
+        "mixed); required for run",
+    )
+    scenario.add_argument(
+        "--score",
+        action="store_true",
+        help="print the per-date precision/recall/F1/churn-lag table "
+        "against the ground-truth ledger",
+    )
+    scenario.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        metavar="N",
+        help="multiply the script's deployment cast by N (the bench grid "
+        "runs 1/10/100)",
+    )
+    scenario.add_argument(
+        "--base",
+        default="tiny",
+        help="scenario preset supplying the organization population the "
+        "scripted deployments are attributed to",
+    )
+    scenario.add_argument(
+        "--archive",
+        metavar="PATH",
+        help="back the run by the .sparch snapshot archive at PATH "
+        "(resume + append, exactly as detect-series --archive)",
+    )
+    scenario.add_argument(
+        "--via",
+        choices=("pipeline", "watch"),
+        default="pipeline",
+        help="pipeline: call detect_series directly; watch: write the "
+        "event series into a snapshot-file feed and drain it through "
+        "the `repro watch` daemon (archive-backed), then score the "
+        "archived generations",
+    )
+    scenario.add_argument(
+        "--full",
+        action="store_true",
+        help="rebuild every date from scratch instead of rolling "
+        "snapshot deltas (results are bit-identical; this is the "
+        "slow path)",
+    )
+    _add_substrate_options(scenario)
 
     lookup = sub.add_parser("lookup", help="query an exported list (LPM)")
     lookup.add_argument(
@@ -401,15 +483,31 @@ def _cmd_detect_series(args: argparse.Namespace) -> int:
     )
     from repro.synth import build_universe
 
-    offsets_fn = (
-        paper_offsets if args.offsets == "paper" else stability_offsets
-    )
-    labelled = offsets_fn(REFERENCE_DATE)
-    label_of = {date: label for label, date in labelled}
-    universe = build_universe(args.scenario)
+    if args.score and not args.events:
+        print("error: --score needs --events NAME (only event scripts "
+              "carry a ground-truth ledger)", file=sys.stderr)
+        return 2
+    if args.events:
+        from repro.synth.events import build_event_universe
+
+        try:
+            universe = build_event_universe(args.events)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        dates = universe.dates
+        label_of = {date: f"t{i}" for i, date in enumerate(dates)}
+    else:
+        offsets_fn = (
+            paper_offsets if args.offsets == "paper" else stability_offsets
+        )
+        labelled = offsets_fn(REFERENCE_DATE)
+        label_of = {date: label for label, date in labelled}
+        universe = build_universe(args.scenario)
+        dates = [date for _, date in labelled]
     series = detect_series(
         universe,
-        [date for _, date in labelled],
+        dates,
         substrate=args.substrate,
         workers=args.workers,
         incremental=args.incremental,
@@ -441,6 +539,14 @@ def _cmd_detect_series(args: argparse.Namespace) -> int:
     finally:
         if args.output:
             stream.close()
+    if args.score:
+        from repro.analysis.quality import render_score, score_series
+
+        print(
+            render_score(
+                score_series(series, universe.ledger, scenario=args.events)
+            )
+        )
     if args.stats:
         _print_stage_stats()
     return 0
@@ -471,6 +577,110 @@ def _cmd_scenarios() -> int:
             f"monitoring={config.monitoring_v4_placements}x"
             f"{config.monitoring_v6_placements}"
         )
+    return 0
+
+
+def _scenario_results_via_watch(universe, args) -> list:
+    """Drive the event series through the ``repro watch`` daemon.
+
+    The series is written out as snapshot files, drained by a
+    :class:`~repro.analysis.watch.SnapshotWatcher` into a ``.sparch``
+    archive (the caller's ``--archive`` or a run-scoped temporary), and
+    the committed generations are loaded back as the per-date results —
+    the full snapshots → archive → serve loop, not a shortcut.
+    """
+    import contextlib
+    import tempfile
+
+    from repro.analysis.watch import (
+        SnapshotDirectorySource,
+        SnapshotWatcher,
+        write_snapshot_file,
+    )
+    from repro.storage import substrate_io
+    from repro.storage.archive import ArchiveReader
+
+    with contextlib.ExitStack() as stack:
+        feed_dir = stack.enter_context(tempfile.TemporaryDirectory())
+        archive = args.archive
+        if archive is None:
+            archive_dir = stack.enter_context(tempfile.TemporaryDirectory())
+            archive = f"{archive_dir}/scenario.sparch"
+        for date in universe.dates:
+            write_snapshot_file(universe.snapshot_at(date), feed_dir)
+        watcher = SnapshotWatcher(
+            SnapshotDirectorySource(feed_dir),
+            universe.annotator_at,
+            archive,
+            substrate=args.substrate,
+            workers=args.workers,
+        )
+        watcher.run(once=True)
+        with ArchiveReader.open(archive) as reader:
+            pool_names = reader.pool_names()
+            by_date = {
+                date: substrate_io.load_siblings(generation, pool_names)
+                for date, generation in reader.generations_by_date(
+                    substrate_io.SIBLINGS_KIND
+                ).items()
+            }
+    # Archive generations are keyed by ISO date string.
+    return [(date, by_date[date.isoformat()]) for date in universe.dates]
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """The ``repro scenario`` body: scripted events + exact scoring."""
+    from repro.synth.events import EVENT_SCENARIOS, build_event_universe
+
+    if args.op == "list":
+        for name, script in EVENT_SCENARIOS.items():
+            events = ", ".join(type(e).__name__ for e in script.events)
+            print(
+                f"{name:<10} dates={script.n_dates:<3} "
+                f"deployments={script.n_deployments:<5} "
+                f"domains/dep={script.domains_per_deployment}  [{events}]"
+            )
+        return 0
+    if not args.name:
+        print("error: scenario run needs a NAME (see `repro scenario "
+              "list`)", file=sys.stderr)
+        return 2
+    try:
+        universe = build_event_universe(
+            args.name, base=args.base, scale=args.scale
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.via == "watch":
+        results = _scenario_results_via_watch(universe, args)
+    else:
+        from repro.analysis.pipeline import detect_series
+
+        results = detect_series(
+            universe,
+            universe.dates,
+            substrate=args.substrate,
+            workers=args.workers,
+            incremental=not args.full,
+            archive=args.archive,
+        )
+
+    script = universe.script
+    print(
+        f"scenario {script.name!r}: {script.n_deployments} deployments, "
+        f"{len(results)} dates via {args.via}"
+    )
+    for date, siblings in results:
+        print(f"  {date.isoformat()}  pairs={len(siblings)}")
+    if args.score:
+        from repro.analysis.quality import render_score, score_series
+
+        print(render_score(score_series(results, universe.ledger,
+                                        scenario=script.name)))
+    if args.stats:
+        _print_stage_stats()
     return 0
 
 
@@ -848,6 +1058,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "scenarios":
         return _cmd_scenarios()
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "lookup":
         return _cmd_lookup(args)
     if args.command == "serve":

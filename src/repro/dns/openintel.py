@@ -185,6 +185,19 @@ class DnsSnapshot:
     # -- statistics -------------------------------------------------------------
 
     @property
+    def is_empty(self) -> bool:
+        """True for a measured-but-empty snapshot (zero observations).
+
+        Distinct from a *missing* date: an empty snapshot is a real
+        measurement outcome (e.g. a rotation blackout window where every
+        watched domain dropped out) and participates in deltas — the
+        delta into it retracts everything, the delta out of it re-adds
+        everything.  A missing date is a :exc:`LookupError` from
+        :meth:`SnapshotSeries.at` / :meth:`SnapshotSeries.delta`.
+        """
+        return not self._observations
+
+    @property
     def domain_count(self) -> int:
         return len(self._observations)
 
@@ -239,7 +252,32 @@ class SnapshotSeries:
         return list(self._dates)
 
     def at(self, date: datetime.date) -> DnsSnapshot:
-        return self._by_date[date]
+        """The snapshot measured on *date*.
+
+        Raises :exc:`LookupError` when the series holds no snapshot for
+        the date — deliberately distinct from an *empty* snapshot
+        (:attr:`DnsSnapshot.is_empty`), which is a member like any other.
+        """
+        try:
+            return self._by_date[date]
+        except KeyError:
+            raise LookupError(
+                f"no snapshot for {date.isoformat()}; series covers "
+                + (
+                    f"{self._dates[0].isoformat()}..{self._dates[-1].isoformat()} "
+                    f"({len(self._dates)} dates)"
+                    if self._dates
+                    else "no dates"
+                )
+            ) from None
+
+    def get(self, date: datetime.date) -> DnsSnapshot | None:
+        """The snapshot for *date*, or ``None`` when the date is missing."""
+        return self._by_date.get(date)
+
+    def empty_dates(self) -> list[datetime.date]:
+        """Member dates whose snapshot measured zero observations."""
+        return [d for d in self._dates if self._by_date[d].is_empty]
 
     def nearest(self, date: datetime.date) -> DnsSnapshot:
         """The snapshot closest in time to *date* (ties go earlier)."""
@@ -262,8 +300,15 @@ class SnapshotSeries:
     def delta(
         self, old_date: datetime.date, new_date: datetime.date
     ) -> SnapshotDelta:
-        """The delta between two member snapshots (any two dates)."""
-        return self._by_date[old_date].delta_to(self._by_date[new_date])
+        """The delta between two member snapshots (any two dates).
+
+        Either endpoint being *missing* from the series raises
+        :exc:`LookupError`.  An *empty-but-present* endpoint is valid:
+        the delta into an empty snapshot removes every domain, the delta
+        out of it adds every domain back — a rotation blackout window is
+        churn, not absence of data.
+        """
+        return self.at(old_date).delta_to(self.at(new_date))
 
     def deltas(self) -> Iterator[SnapshotDelta]:
         """Deltas between consecutive snapshots, in date order."""

@@ -23,6 +23,14 @@ from repro.synth.entities import (
     Organization,
     VisibilityPattern,
 )
+from repro.synth.events import (
+    EVENT_SCENARIOS,
+    EventScript,
+    EventUniverse,
+    build_event_universe,
+    event_scenario,
+)
+from repro.synth.groundtruth import GroundTruthLedger, TruthPair
 from repro.synth.scenarios import SCENARIOS, ScenarioConfig, scenario
 from repro.synth.universe import Universe, build_universe
 
@@ -30,12 +38,19 @@ __all__ = [
     "Deployment",
     "DeploymentTier",
     "DomainSpec",
+    "EVENT_SCENARIOS",
+    "EventScript",
+    "EventUniverse",
+    "GroundTruthLedger",
     "HostingMode",
     "Organization",
     "SCENARIOS",
     "ScenarioConfig",
+    "TruthPair",
     "Universe",
     "VisibilityPattern",
+    "build_event_universe",
     "build_universe",
+    "event_scenario",
     "scenario",
 ]

@@ -1,0 +1,165 @@
+"""Exact per-date sibling ground truth for scripted event universes.
+
+The event engine (:mod:`repro.synth.events`) knows precisely which
+IPv4/IPv6 prefix pairs belong to the same deployment on every date — it
+placed them there.  This module is the ledger that records that truth so
+detection output can be scored against it exactly
+(:mod:`repro.analysis.quality`), instead of the distribution-level
+proxies in :mod:`repro.core.quality`.
+
+A :class:`TruthPair` carries the pair key (the *announced* prefixes, the
+same identity the detection pipeline emits), the owning deployment and
+organization, and a ``visible`` flag: a pair whose domains are absent or
+v4-only on a date is still organizational truth but is not *detectable*
+truth, so it never counts against recall.  Designed false-positive traps
+(aliased prefix clusters à la Gasser et al.) are registered separately,
+letting the scorer distinguish "fell into the trap" from any other
+false positive.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.nettypes.prefix import Prefix
+
+#: A pair's identity: the announced (v4, v6) prefixes — the same key a
+#: detected :class:`~repro.core.siblings.SiblingPair` exposes.
+PairKey = tuple[Prefix, Prefix]
+
+
+@dataclass(frozen=True, slots=True)
+class TruthPair:
+    """One ground-truth sibling relation on one date."""
+
+    v4_prefix: Prefix
+    v6_prefix: Prefix
+    deployment_id: int
+    org_id: int
+    #: False when the relation holds organizationally but cannot be
+    #: detected from this date's snapshot (domains absent during a
+    #: rotation blackout, v6 side not yet rolled out, addresses moved
+    #: wholly into an aliased cluster).  Invisible pairs are excluded
+    #: from the recall denominator but still shield a detection from
+    #: being counted as a false positive.
+    visible: bool = True
+
+    @property
+    def key(self) -> PairKey:
+        return (self.v4_prefix, self.v6_prefix)
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerChange:
+    """Visible-truth churn between two consecutive ledger dates."""
+
+    old_date: datetime.date
+    date: datetime.date
+    added: frozenset[PairKey]
+    retracted: frozenset[PairKey]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.retracted)
+
+
+class GroundTruthLedger:
+    """Date-ordered record of every true sibling pair and every trap."""
+
+    def __init__(self) -> None:
+        self._by_date: dict[datetime.date, tuple[TruthPair, ...]] = {}
+        self._dates: list[datetime.date] = []
+        self._traps: set[Prefix] = set()
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, date: datetime.date, pairs: Iterable[TruthPair]) -> None:
+        """Record the complete truth for *date* (once per date)."""
+        if date in self._by_date:
+            raise ValueError(f"ledger already holds truth for {date}")
+        if self._dates and date <= self._dates[-1]:
+            raise ValueError(
+                f"ledger dates must be recorded in order; got {date} "
+                f"after {self._dates[-1]}"
+            )
+        self._by_date[date] = tuple(pairs)
+        self._dates.append(date)
+
+    def register_trap(self, prefix: Prefix) -> None:
+        """Mark *prefix* as a designed false-positive trap (any detected
+        pair touching it is scored as a trap hit, not an ordinary FP)."""
+        self._traps.add(prefix)
+
+    # -- access ----------------------------------------------------------------
+
+    def dates(self) -> list[datetime.date]:
+        return list(self._dates)
+
+    @property
+    def traps(self) -> frozenset[Prefix]:
+        return frozenset(self._traps)
+
+    def is_trap(self, prefix: Prefix) -> bool:
+        """True when *prefix* is, or sits inside, a registered trap."""
+        return any(
+            prefix == trap or (prefix.version == trap.version and trap.contains(prefix))
+            for trap in self._traps
+        )
+
+    def truth_at(self, date: datetime.date) -> tuple[TruthPair, ...]:
+        """Every truth pair (visible or not) for *date*."""
+        try:
+            return self._by_date[date]
+        except KeyError:
+            raise LookupError(
+                f"ledger holds no truth for {date}; recorded dates: "
+                f"{', '.join(d.isoformat() for d in self._dates) or 'none'}"
+            ) from None
+
+    def visible_truth_at(self, date: datetime.date) -> tuple[TruthPair, ...]:
+        return tuple(p for p in self.truth_at(date) if p.visible)
+
+    def keys_at(self, date: datetime.date) -> frozenset[PairKey]:
+        return frozenset(p.key for p in self.truth_at(date))
+
+    def visible_keys_at(self, date: datetime.date) -> frozenset[PairKey]:
+        return frozenset(p.key for p in self.truth_at(date) if p.visible)
+
+    def org_truth_at(self, date: datetime.date) -> frozenset[tuple[int, int]]:
+        """(org_id, deployment_id) relations on *date*, visibility-blind.
+
+        Renumbering events move a deployment's networks — the pair keys
+        change — but must never change this org-level view; the property
+        test in ``tests/test_scenario_events.py`` holds the engine to it.
+        """
+        return frozenset(
+            (p.org_id, p.deployment_id) for p in self.truth_at(date)
+        )
+
+    # -- churn -----------------------------------------------------------------
+
+    def changes(self) -> Iterator[LedgerChange]:
+        """Visible-truth deltas between consecutive ledger dates."""
+        for older, newer in zip(self._dates, self._dates[1:]):
+            old_keys = self.visible_keys_at(older)
+            new_keys = self.visible_keys_at(newer)
+            yield LedgerChange(
+                old_date=older,
+                date=newer,
+                added=frozenset(new_keys - old_keys),
+                retracted=frozenset(old_keys - new_keys),
+            )
+
+    def __len__(self) -> int:
+        return len(self._dates)
+
+    def __contains__(self, date: object) -> bool:
+        return date in self._by_date
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundTruthLedger(dates={len(self._dates)}, "
+            f"traps={len(self._traps)})"
+        )

@@ -45,6 +45,7 @@ PERF_RESULT_FILES = (
     "serving_fleet.txt",
     "obs_overhead.txt",
     "watch_replay.txt",
+    "scenario_grid.txt",
 )
 
 

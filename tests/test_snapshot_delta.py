@@ -278,5 +278,62 @@ def test_rib_signature_tracks_contents():
     )
 
 
+class TestEmptyVersusMissing:
+    """An empty-but-present snapshot (a rotation blackout window) is a
+    measurement outcome; a missing date is an error.  The two used to be
+    indistinguishable — ``SnapshotSeries.at``/``delta`` raised a bare
+    ``KeyError`` either way and an empty member looked like a hole."""
+
+    def _series(self):
+        return SnapshotSeries(
+            [
+                snap(DATE_0, [obs("a.example", [v4(0)], [v6(0)])]),
+                snap(DATE_1, []),  # measured, nothing answered
+                snap(DATE_2, [obs("a.example", [v4(0)], [v6(0)])]),
+            ]
+        )
+
+    def test_empty_member_is_classified_not_missing(self):
+        series = self._series()
+        assert series.at(DATE_1).is_empty
+        assert not series.at(DATE_0).is_empty
+        assert series.empty_dates() == [DATE_1]
+        assert DATE_1 in series
+
+    def test_missing_date_raises_descriptive_lookup_error(self):
+        series = self._series()
+        missing = DATE_2 + datetime.timedelta(days=30)
+        with pytest.raises(LookupError, match="no snapshot for"):
+            series.at(missing)
+        with pytest.raises(LookupError, match="no snapshot for"):
+            series.delta(DATE_0, missing)
+        with pytest.raises(LookupError, match="no snapshot for"):
+            series.delta(missing, DATE_0)
+        assert series.get(missing) is None
+        assert series.get(DATE_1) is series.at(DATE_1)
+
+    def test_empty_endpoint_deltas_are_full_retraction_and_readdition(self):
+        series = self._series()
+        into_blackout = series.delta(DATE_0, DATE_1)
+        assert into_blackout.removed == ("a.example",)
+        assert into_blackout.added == () and into_blackout.changed == ()
+        out_of_blackout = series.delta(DATE_1, DATE_2)
+        assert [o.domain for o in out_of_blackout.added] == ["a.example"]
+        assert out_of_blackout.removed == ()
+
+    def test_index_rolls_through_an_empty_snapshot(self):
+        """Applying the blackout deltas lands the index exactly where a
+        from-scratch build of each endpoint would."""
+        annotator = make_annotator()
+        series = self._series()
+        index = build_index(series.at(DATE_0), annotator)
+        index.apply_delta(series.delta(DATE_0, DATE_1), annotator)
+        empty = build_index(series.at(DATE_1), annotator)
+        assert index.content_signature() == empty.content_signature()
+        index.apply_delta(series.delta(DATE_1, DATE_2), annotator)
+        full = build_index(series.at(DATE_2), annotator)
+        assert index.content_signature() == full.content_signature()
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))
